@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (at a
+laptop-friendly scale — paper-scale parameters are documented in each
+experiment module) and asserts the *shape* the paper reports: who wins, in
+which direction, roughly by how much.  Timings come from pytest-benchmark;
+macro experiments run once per benchmark (``rounds=1``) because each run is
+already seconds long and internally averaged.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a macro experiment with a single timed round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,38 @@
+"""Ablation — node weights in h(v) for parallel processes.
+
+The paper's node weight sums every member's degradation (Eq. 13 uses maxes,
+so summed parallel contributions over-estimate the remaining cost — an
+inadmissible h that prunes more but can miss the optimum).  The default
+``h_parallel="zero"`` keeps h admissible.  This bench quantifies the
+speed/optimality trade on the Table II mixed workloads."""
+
+from repro.solvers import OAStar
+from repro.workloads.mixes import mixed_parallel_serial
+
+
+def run_ablation(n_procs=12, cluster="quad"):
+    problem = mixed_parallel_serial(n_procs, cluster=cluster)
+    admissible = OAStar(h_parallel="zero", name="OA*-adm").solve(problem)
+    problem.clear_caches()
+    literal = OAStar(h_parallel="sum", name="OA*-sum").solve(problem)
+    gap = 0.0
+    if admissible.objective > 0:
+        gap = (literal.objective - admissible.objective) / admissible.objective
+    return {
+        "admissible_obj": admissible.objective,
+        "literal_obj": literal.objective,
+        "literal_gap_percent": 100 * gap,
+        "admissible_time": admissible.time_seconds,
+        "literal_time": literal.time_seconds,
+        "admissible_expanded": admissible.stats["expanded"],
+        "literal_expanded": literal.stats["expanded"],
+    }
+
+
+def test_ablation_admissible_h(benchmark, once):
+    stats = once(benchmark, run_ablation)
+    print(f"\nh-admissibility ablation: {stats}")
+    # The literal (inadmissible) h can only lose quality, never gain.
+    assert stats["literal_obj"] >= stats["admissible_obj"] - 1e-9
+    # Its appeal is speed: far fewer expansions.
+    assert stats["literal_expanded"] <= stats["admissible_expanded"]

@@ -1,0 +1,64 @@
+"""Ablation — dismiss strategies (Section III-C1 / Theorem 1).
+
+The published rule keeps only the minimum-distance subpath per process set.
+With parallel jobs, partial distances carry each job's *running max*, and a
+higher-max subpath can absorb expensive future processes for free — so the
+min-distance rule can prune the true optimum.  The dominance rule (default)
+keeps the Pareto frontier and is provably exact; this bench measures both
+rules' objectives and costs across random parallel mixes."""
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, pe_job, serial_job
+from repro.core.machine import DUAL_CORE_CLUSTER
+from repro.core.problem import CoSchedulingProblem
+from repro.solvers import OAStar
+
+
+def make_instance(seed):
+    rng = np.random.default_rng(seed)
+    jobs = [pe_job(0, "p", nprocs=3), pe_job(1, "q", nprocs=3),
+            serial_job(2, "a"), serial_job(3, "b")]
+    wl = Workload(jobs, cores_per_machine=2)
+    D = rng.uniform(0, 1, size=(wl.n, wl.n))
+    np.fill_diagonal(D, 0.0)
+    return CoSchedulingProblem(wl, DUAL_CORE_CLUSTER,
+                               MatrixDegradationModel(pairwise=D))
+
+
+def run_ablation(n_seeds=12):
+    regressions = 0
+    worst = 0.0
+    dom_paths = pap_paths = 0
+    for seed in range(n_seeds):
+        problem = make_instance(seed)
+        exact = OAStar().solve(problem)
+        problem.clear_caches()
+        paper = OAStar(dismiss="paper").solve(problem)
+        dom_paths += exact.stats["visited_paths"]
+        pap_paths += paper.stats["visited_paths"]
+        assert paper.objective >= exact.objective - 1e-9
+        if paper.objective > exact.objective + 1e-9:
+            regressions += 1
+            worst = max(
+                worst,
+                (paper.objective - exact.objective) / exact.objective,
+            )
+    return {
+        "instances": n_seeds,
+        "paper_rule_suboptimal_on": regressions,
+        "worst_gap_percent": 100 * worst,
+        "dominance_paths": dom_paths,
+        "paper_paths": pap_paths,
+    }
+
+
+def test_ablation_dismiss_rules(benchmark, once):
+    stats = once(benchmark, run_ablation)
+    print(f"\ndismiss-rule ablation: {stats}")
+    # The dominance rule may keep more subpaths (a frontier per state)...
+    assert stats["dominance_paths"] >= stats["paper_paths"] * 0.5
+    # ... and the paper rule must never be better, only possibly worse.
+    assert stats["worst_gap_percent"] >= 0.0

@@ -1,0 +1,47 @@
+"""Extension bench — the VM migration trade-off curve.
+
+Sweeping the per-move cost between "free" and "prohibitive" must trace a
+monotone frontier: migrations fall, degradation rises, and a small move
+budget recovers most of the re-optimization gain."""
+
+import numpy as np
+
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, serial_job
+from repro.core.machine import QUAD_CORE_CLUSTER
+from repro.core.problem import CoSchedulingProblem
+from repro.core.schedule import CoSchedule
+from repro.extensions.vm import replan
+from repro.solvers import OAStar
+
+
+def run_tradeoff(n=8, seed=11):
+    jobs = [serial_job(i, f"vm{i}") for i in range(n)]
+    wl = Workload(jobs, cores_per_machine=QUAD_CORE_CLUSTER.cores)
+    rng = np.random.default_rng(seed)
+    D = rng.uniform(0, 0.6, (n, n))
+    np.fill_diagonal(D, 0.0)
+    problem = CoSchedulingProblem(
+        wl, QUAD_CORE_CLUSTER, MatrixDegradationModel(pairwise=D)
+    )
+    previous = CoSchedule.from_groups([(0, 1, 2, 3), (4, 5, 6, 7)], u=4)
+    curve = []
+    for cpm in (0.0, 0.05, 0.2, 1e9):
+        problem.clear_caches()
+        out = replan(problem, previous, OAStar(), cost_per_move=cpm)
+        curve.append((cpm, out["migrations"], out["degradation"]))
+    return curve
+
+
+def test_ext_vm_tradeoff(benchmark, once):
+    curve = once(benchmark, run_tradeoff)
+    print("\ncost/move -> (migrations, degradation):")
+    for cpm, moves, degr in curve:
+        print(f"  {cpm:>8g} -> ({moves}, {degr:.4f})")
+    moves = [m for _c, m, _d in curve]
+    degr = [d for _c, _m, d in curve]
+    # Monotone frontier.
+    assert all(a >= b for a, b in zip(moves, moves[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(degr, degr[1:]))
+    # Prohibitive cost freezes the placement entirely.
+    assert moves[-1] == 0

@@ -1,0 +1,13 @@
+"""Fig. 11 — 16 applications on 8-core machines under HA* and PG (OA* is
+optional at this level size; the figure's headline is the heuristics)."""
+
+from repro.experiments.fig10 import run_fig11
+
+
+def test_fig11_eightcore_apps(benchmark, once):
+    result = once(benchmark, run_fig11)
+    print("\n" + result.text)
+    avg = result.data["averages"]
+    # HA* no worse than PG on the batch average (paper: 14.6% better).
+    assert avg["HA*"] <= avg["PG"] * 1.02
+    assert avg["HA*"] > 0.0

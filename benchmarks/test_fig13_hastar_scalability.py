@@ -1,0 +1,22 @@
+"""Fig. 13 — HA* scalability: time grows with job count, and the 8-core
+search is cheaper than the quad-core one at the same job count (fewer
+machines, fewer levels — the opposite of OA*'s Fig. 9 trend)."""
+
+from repro.experiments import fig13
+
+
+def test_fig13_hastar_scalability(benchmark, once):
+    result = once(benchmark, fig13.run, counts=(48, 120),
+                  clusters=("quad", "eight"))
+    print("\n" + result.text)
+    counts = result.data["counts"]
+    quad = result.data["quad"]
+    eight = result.data["eight"]
+    # Growth with job count on both machine types.
+    assert quad[-1] > quad[0]
+    assert eight[-1] > eight[0]
+    # The paper's observation: HA* is faster on 8-core machines than on
+    # quad-core at the same job count (fewer machines, fewer levels).
+    assert eight[-1] < quad[-1], (
+        f"8-core {eight[-1]:.2f}s !< quad {quad[-1]:.2f}s at n={counts[-1]}"
+    )

@@ -1,0 +1,12 @@
+"""Fig. 7 — OA*-PC vs OA*-PE: ignoring MPI communication when placing ranks
+costs real performance once communication is charged."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_pc_vs_pe_quad(benchmark, once):
+    result = once(benchmark, fig7.run)
+    print("\n" + result.text)
+    # Paper: OA*-PE worse by 36.1% (quad) / 39.5% (8-core).
+    assert result.data["avg_pe"] > result.data["avg_pc"]
+    assert result.data["pe_worse_by_percent"] > 5.0

@@ -1,0 +1,21 @@
+"""Fig. 8 — communication-aware process condensation accelerates OA*-PC,
+increasingly so as processes-per-parallel-job grows."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_condensation(benchmark, once):
+    result = once(benchmark, fig8.run, procs_per_job=(1, 2, 4, 6),
+                  n_parallel_jobs=2, total_procs=16, cluster="quad")
+    print("\n" + result.text)
+    with_c = result.data["with_condensation"]
+    without_c = result.data["without_condensation"]
+    # At the largest processes-per-job point, condensation must win
+    # (the runner itself asserts both find the same optimum).
+    assert with_c[-1] < without_c[-1], (
+        f"condensed {with_c[-1]:.2f}s !< uncondensed {without_c[-1]:.2f}s"
+    )
+    # And its advantage grows with processes per parallel job.
+    ratio_first = with_c[0] / max(without_c[0], 1e-9)
+    ratio_last = with_c[-1] / max(without_c[-1], 1e-9)
+    assert ratio_last < max(1.0, ratio_first)

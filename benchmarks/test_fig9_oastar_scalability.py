@@ -1,0 +1,25 @@
+"""Fig. 9 — OA* scalability: solving time grows with process count, far
+steeper on quad-core than on dual-core machines."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_oastar_scalability(benchmark, once):
+    result = once(benchmark, fig9.run)
+    print("\n" + result.text)
+    dual = result.data["dual"]
+    quad = result.data["quad"]
+    # Growth on both machine types (compare first vs last points).
+    d_counts = sorted(dual)
+    q_counts = sorted(quad)
+    assert dual[d_counts[-1]] > dual[d_counts[0]]
+    assert quad[q_counts[-1]] > quad[q_counts[0]]
+    # The paper's contrast: at the same process count the quad-core search
+    # is far more expensive (bigger levels).
+    common = sorted(set(dual) & set(quad))
+    assert common, "need at least one shared count"
+    n = common[-1]
+    assert quad[n] > dual[n]
+    # Dual-core runs at full paper scale (120 processes) in modest time.
+    assert 120 in dual
+    assert dual[120] < 60.0

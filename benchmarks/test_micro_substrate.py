@@ -1,0 +1,90 @@
+"""Micro-benchmarks for the hot substrate kernels.
+
+Unlike the macro experiment benches (single-round), these are classic
+pytest-benchmark timings with many rounds — the kernels every search
+invocation leans on."""
+
+import numpy as np
+import pytest
+
+from repro.cache.lru import sdp_from_trace
+from repro.cache.sdc import sdc_corun_misses
+from repro.cache.sdp import geometric_sdp
+from repro.cache.trace import TraceSpec, generate_trace
+from repro.core.degradation import MissRatePressureModel
+from repro.graph.subset_enum import iter_subsets_monotone
+from repro.solvers.simplex import simplex_solve
+from repro.workloads.synthetic import random_serial_instance
+from repro.graph.levels import SuccessorGenerator
+
+
+def test_micro_sdc_merge(benchmark):
+    """One SDC merge of four 16-way profiles (the inner degradation kernel)."""
+    profiles = [
+        geometric_sdp(1e9, mr, 16, rd)
+        for mr, rd in [(0.2, 0.7), (0.5, 0.9), (0.1, 0.3), (0.4, 0.85)]
+    ]
+    rates = [0.01, 0.03, 0.005, 0.02]
+    result = benchmark(sdc_corun_misses, profiles, 16, rates)
+    assert all(m >= s for m, s in zip(result.corun_misses,
+                                      result.single_misses))
+
+
+def test_micro_lru_sdp_measurement(benchmark):
+    """Measuring an SDP from a 20k-access trace (the profiling substrate)."""
+    trace = generate_trace(TraceSpec(n_accesses=20_000, seed=1))
+
+    sdp = benchmark(sdp_from_trace, trace, 16)
+    assert sdp.accesses == 20_000
+
+
+def test_micro_subset_enumeration(benchmark):
+    """First 64 of C(200, 7) subsets in ascending weight (HA* at scale)."""
+    rng = np.random.default_rng(0)
+    vals = rng.uniform(0.15, 0.75, 200)
+
+    def take64():
+        it = iter_subsets_monotone(
+            list(range(200)), 7,
+            weight=lambda sub: float(sum(vals[i] for i in sub)),
+            rank_key=lambda i: float(vals[i]),
+        )
+        return [next(it) for _ in range(64)]
+
+    out = benchmark(take64)
+    ws = [w for _s, w in out]
+    assert ws == sorted(ws)
+
+
+def test_micro_successor_generation(benchmark):
+    """Full successor generation for one state of a 32-job quad instance."""
+    problem = random_serial_instance(32, cluster="quad", seed=0)
+    gen = SuccessorGenerator(problem)
+    state = tuple(range(32))
+
+    out = benchmark(gen.successors, state)
+    assert len(out) == 4495  # C(31, 3)
+
+
+def test_micro_simplex(benchmark):
+    """A 20x300 LP through the from-scratch tableau simplex."""
+    rng = np.random.default_rng(2)
+    A = rng.uniform(0, 1, (20, 300))
+    x0 = rng.uniform(0, 1, 300)
+    b = A @ x0 + 1.0
+    c = rng.uniform(-1, 0, 300)
+
+    res = benchmark(simplex_solve, c, None, None, A, b)
+    assert res.status == "optimal"
+
+
+def test_micro_node_weight_fast(benchmark):
+    """The O(u) closed-form node weight of the pressure model."""
+    model = MissRatePressureModel(
+        np.random.default_rng(3).uniform(0.15, 0.75, 1000),
+        cores=8, saturation=0.9,
+    )
+    members = tuple(range(0, 1000, 125))
+
+    w = benchmark(model.node_weight_fast, members)
+    assert w > 0

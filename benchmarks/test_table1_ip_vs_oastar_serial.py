@@ -1,0 +1,20 @@
+"""Table I — IP vs OA* on serial jobs: identical optimal degradations."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1_ip_vs_oastar_serial(benchmark, once):
+    result = once(benchmark, table1.run, sizes=(8, 12, 16),
+                  clusters=("dual", "quad"))
+    print("\n" + result.text)
+    for (n, cluster), row in result.data.items():
+        # The headline claim: OA* is optimal — it matches the IP optimum.
+        assert row["match"], f"{n} jobs on {cluster}: OA* != IP"
+        assert row["oastar"] == pytest.approx(row["ip"], rel=1e-9)
+        # Degradations are positive and in a plausible band (paper: ~0.05-0.4).
+        assert 0.0 < row["oastar"] < 1.0
+    # More cores sharing one cache degrade more (quad > dual), as in Table I.
+    for n in (8, 12, 16):
+        assert result.data[(n, "quad")]["oastar"] > result.data[(n, "dual")]["oastar"]

@@ -1,0 +1,15 @@
+"""Table II — IP vs OA* on serial + parallel mixes: identical optima."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2_ip_vs_oastar_mixed(benchmark, once):
+    result = once(benchmark, table2.run, sizes=(8, 12, 16),
+                  clusters=("dual", "quad"))
+    print("\n" + result.text)
+    for (n, cluster), row in result.data.items():
+        assert row["match"], f"{n} procs on {cluster}: OA* != IP"
+        assert row["oastar"] == pytest.approx(row["ip"], rel=1e-9)
+        assert 0.0 < row["oastar"] < 1.0

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Scheduling hundreds of jobs: HA* against the PG greedy.
+
+Exact co-scheduling is NP-hard; beyond a few dozen processes only heuristics
+are viable.  The paper's HA* trims each graph level to its ``n/u``
+lowest-weight nodes (the MER bound) and still searches — which beats
+one-shot greedy scoring whenever contention is pair-idiosyncratic, i.e. when
+"how much job A hurts job B" is not a function of A alone.
+
+Run:  python examples/large_scale_heuristic.py
+"""
+
+import time
+
+from repro import HAStar, PolitenessGreedy
+from repro.solvers import RandomScheduler
+from repro.workloads.synthetic import random_interaction_instance
+
+
+def main() -> None:
+    n = 240
+    problem = random_interaction_instance(n, cluster="quad", seed=7)
+    print(f"{n} synthetic jobs with pair-idiosyncratic contention on "
+          f"{problem.n_machines} quad-core machines\n")
+
+    results = {}
+    for solver in (
+        HAStar(beam_width=problem.n // problem.u),
+        PolitenessGreedy(),
+        RandomScheduler(seed=0),
+    ):
+        problem.clear_caches()
+        t0 = time.perf_counter()
+        r = solver.solve(problem)
+        results[r.solver] = r
+        print(f"{r.solver:>8}: avg degradation "
+              f"{r.evaluation.average_job_degradation:.4f}   "
+              f"({time.perf_counter() - t0:.2f}s)")
+
+    ha = results["HA*"].objective
+    pg = results["PG"].objective
+    print(f"\nHA* beats PG by {100 * (pg - ha) / pg:.1f}% "
+          "(the paper's Fig. 12 comparison)")
+
+
+if __name__ == "__main__":
+    main()

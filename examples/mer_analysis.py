@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Why HA* works: the MER statistics behind the n/u trimming rule.
+
+Sort every graph level by node weight.  Along the *optimal* path, how deep
+into each sorted level does the best node sit (counting only valid nodes)?
+The paper measures this "effective rank" over many random instances (Fig. 5)
+and finds its maximum rarely exceeds ``n/u`` — so a search that only ever
+attempts the first ``n/u`` valid nodes per level (HA*) almost always retains
+the optimal path while shrinking the search space by orders of magnitude.
+
+Run:  python examples/mer_analysis.py
+"""
+
+from collections import Counter
+
+from repro import OAStar
+from repro.analysis.mer import mer_of_schedule
+from repro.analysis.stats import cdf_at
+from repro.workloads.synthetic import random_serial_instance
+
+
+def main() -> None:
+    n, cluster, k_graphs = 24, "quad", 40
+    print(f"{k_graphs} random instances of {n} jobs on {cluster}-core "
+          "machines (miss rates ~ U[15%, 75%])\n")
+
+    mers = []
+    for seed in range(k_graphs):
+        problem = random_serial_instance(n, cluster=cluster, seed=seed)
+        optimal = OAStar().solve(problem)
+        mers.append(mer_of_schedule(problem, optimal.schedule))
+
+    bound = n // problem.u
+    print("MER histogram (maximum effective rank of the optimal path):")
+    counts = Counter(mers)
+    for mer in range(1, max(mers) + 1):
+        bar = "#" * counts.get(mer, 0)
+        marker = "  <- n/u bound" if mer == bound else ""
+        print(f"  MER={mer:2d} {bar}{marker}")
+
+    frac = cdf_at(mers, bound)
+    print(f"\n{100 * frac:.1f}% of instances have MER <= n/u = {bound} "
+          f"(paper reports >= 98% at its scales)")
+    print("HA* therefore attempts only the first n/u valid nodes per level "
+          "and stays near-optimal.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""VM re-placement under a migration budget (the paper's future-work case).
+
+A cluster runs 8 VMs across two quad-core hosts.  Their workloads shifted
+since the last placement, so the current mapping is no longer optimal — but
+migrating a VM is not free.  Sweeping the per-move cost traces the whole
+trade-off: from "re-optimize from scratch" to "freeze everything".
+
+Run:  python examples/vm_migration.py
+"""
+
+import numpy as np
+
+from repro import OAStar
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, serial_job
+from repro.core.machine import QUAD_CORE_CLUSTER
+from repro.core.problem import CoSchedulingProblem
+from repro.core.schedule import CoSchedule
+from repro.extensions.vm import replan
+
+
+def main() -> None:
+    n = 8
+    jobs = [serial_job(i, f"vm{i}") for i in range(n)]
+    wl = Workload(jobs, cores_per_machine=QUAD_CORE_CLUSTER.cores)
+    rng = np.random.default_rng(11)
+    D = rng.uniform(0, 0.6, (n, n))
+    np.fill_diagonal(D, 0.0)
+    problem = CoSchedulingProblem(
+        wl, QUAD_CORE_CLUSTER, MatrixDegradationModel(pairwise=D)
+    )
+
+    # Yesterday's placement, now stale.
+    previous = CoSchedule.from_groups([(0, 1, 2, 3), (4, 5, 6, 7)], u=4)
+    stale = replan(problem, previous, OAStar(), cost_per_move=1e9)
+    print(f"current placement degradation: "
+          f"{stale['previous_degradation']:.4f}\n")
+
+    print(f"{'cost/move':>10} {'migrations':>11} {'degradation':>12} "
+          f"{'total':>10}")
+    for cpm in (0.0, 0.02, 0.05, 0.1, 0.3, 1e9):
+        problem.clear_caches()
+        out = replan(problem, previous, OAStar(), cost_per_move=cpm)
+        label = f"{cpm:.2f}" if cpm < 1e6 else "inf"
+        print(f"{label:>10} {out['migrations']:>11d} "
+              f"{out['degradation']:>12.4f} "
+              f"{out['objective_with_penalty'] if cpm < 1e6 else out['degradation']:>10.4f}")
+
+    print("\nSmall move budgets recover most of the re-optimization gain: "
+          "the optimal trade-off\nmoves a few VMs, not all of them.")
+
+
+if __name__ == "__main__":
+    main()

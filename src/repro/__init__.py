@@ -1,0 +1,100 @@
+"""repro — reproduction of "Modelling and Developing Co-scheduling Strategies
+on Multicore Processors" (Zhu, He, Gao, Li & Li, ICPP 2015).
+
+Contention-aware co-scheduling of mixed serial/parallel job batches onto
+multicore machines:
+
+* model degradations with the SDC cache-contention pipeline
+  (:mod:`repro.cache`) or synthetic models (:mod:`repro.core.degradation`);
+* solve exactly with OA* (:class:`repro.solvers.OAStar`) or the IP backends,
+  or near-optimally at scale with HA* (:class:`repro.solvers.HAStar`);
+* reproduce every table and figure of the paper via :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import serial_mix, OAStar
+    problem = serial_mix(["BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"],
+                         cluster="quad")
+    result = OAStar().solve(problem)
+    print(result.schedule.pretty(problem.workload))
+    print("average degradation:", result.evaluation.average_job_degradation)
+"""
+
+from .core import (
+    CoSchedule,
+    CoSchedulingProblem,
+    JobKind,
+    MatrixDegradationModel,
+    MissRatePressureModel,
+    SDCDegradationModel,
+    Workload,
+    evaluate_schedule,
+    pc_job,
+    pe_job,
+    serial_job,
+)
+from .core.machine import (
+    CLUSTERS,
+    DUAL_CORE_CLUSTER,
+    EIGHT_CORE_CLUSTER,
+    MACHINES,
+    QUAD_CORE_CLUSTER,
+)
+from .solvers import (
+    BranchBoundIP,
+    BruteForce,
+    HAStar,
+    OAStar,
+    OSVP,
+    PolitenessGreedy,
+    ScipyMILP,
+    SimulatedAnnealing,
+    SolveResult,
+    SwapHillClimber,
+)
+from .workloads import (
+    mixed_parallel_serial,
+    pc_serial_mix,
+    pe_serial_mix,
+    random_mixed_instance,
+    random_serial_instance,
+    serial_mix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoSchedule",
+    "CoSchedulingProblem",
+    "JobKind",
+    "MatrixDegradationModel",
+    "MissRatePressureModel",
+    "SDCDegradationModel",
+    "Workload",
+    "evaluate_schedule",
+    "pc_job",
+    "pe_job",
+    "serial_job",
+    "CLUSTERS",
+    "MACHINES",
+    "DUAL_CORE_CLUSTER",
+    "QUAD_CORE_CLUSTER",
+    "EIGHT_CORE_CLUSTER",
+    "BranchBoundIP",
+    "BruteForce",
+    "HAStar",
+    "OAStar",
+    "OSVP",
+    "PolitenessGreedy",
+    "ScipyMILP",
+    "SimulatedAnnealing",
+    "SolveResult",
+    "SwapHillClimber",
+    "mixed_parallel_serial",
+    "pc_serial_mix",
+    "pe_serial_mix",
+    "random_mixed_instance",
+    "random_serial_instance",
+    "serial_mix",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Analysis helpers: MER statistics, CDFs, ASCII table/series rendering."""
+
+from .calibration import (
+    TraceProgram,
+    measure_pairwise_matrix,
+    predict_pairwise_matrix,
+    prediction_error,
+)
+from .mer import effective_ranks, mer_of_schedule
+from .reporting import format_value, render_series, render_table
+from .stats import cdf_at, empirical_cdf, summarize
+
+__all__ = [
+    "TraceProgram",
+    "measure_pairwise_matrix",
+    "predict_pairwise_matrix",
+    "prediction_error",
+    "effective_ranks",
+    "mer_of_schedule",
+    "format_value",
+    "render_series",
+    "render_table",
+    "cdf_at",
+    "empirical_cdf",
+    "summarize",
+]

@@ -1,0 +1,64 @@
+"""ASCII rendering of experiment tables and figure series.
+
+The benchmark harness "regenerates" each paper table/figure as text: tables
+print rows matching the paper's layout; figures print their data series
+(x, one column per curve), which is the information content of the plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(v: object, precision: int = 4) -> str:
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "-"
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 1e-3:
+            return f"{v:.3g}"
+        return f"{v:.{precision}g}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_value(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render figure data: one row per x, one column per named curve."""
+    headers = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,44 @@
+"""Small statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "cdf_at", "summarize"]
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted sample values and the cumulative fraction at each value.
+
+    Returns ``(xs, fractions)`` with ``fractions[i]`` = fraction of samples
+    ``<= xs[i]`` — the curve plotted in the paper's Fig. 5.
+    """
+    if len(samples) == 0:
+        raise ValueError("need at least one sample")
+    xs = np.sort(np.asarray(samples, dtype=float))
+    fractions = np.arange(1, xs.size + 1, dtype=float) / xs.size
+    return xs, fractions
+
+
+def cdf_at(samples: Sequence[float], x: float) -> float:
+    """Fraction of samples <= x."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    return float(np.count_nonzero(arr <= x)) / arr.size
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """min/median/mean/p95/max of a sample set."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    return {
+        "min": float(arr.min()),
+        "median": float(np.median(arr)),
+        "mean": float(arr.mean()),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,40 @@
+"""Cache-contention substrate.
+
+Replaces the paper's offline profiling pipeline (``perf`` counters +
+``gcc-slo`` stack distance profiles + the SDC model of Chandra et al.) with a
+self-contained implementation:
+
+* :mod:`repro.cache.sdp` — stack distance profiles, synthetic generation;
+* :mod:`repro.cache.trace` / :mod:`repro.cache.lru` — reference-trace
+  generation and LRU simulation, i.e. SDPs measured rather than assumed;
+* :mod:`repro.cache.sdc` — Stack Distance Competition co-run miss prediction;
+* :mod:`repro.cache.cpu_time` — Eq. 1/14/15 time and degradation arithmetic.
+"""
+
+from .cpu_time import (
+    corun_degradation,
+    cpu_time,
+    degradation_from_misses,
+    memory_stall_cycles,
+)
+from .lru import SetAssociativeLRU, sdp_from_trace, stack_distances
+from .sdc import SDCResult, sdc_corun_misses, sdc_effective_ways
+from .sdp import StackDistanceProfile, geometric_sdp
+from .trace import TraceSpec, generate_trace
+
+__all__ = [
+    "StackDistanceProfile",
+    "geometric_sdp",
+    "SDCResult",
+    "sdc_corun_misses",
+    "sdc_effective_ways",
+    "SetAssociativeLRU",
+    "sdp_from_trace",
+    "stack_distances",
+    "TraceSpec",
+    "generate_trace",
+    "corun_degradation",
+    "cpu_time",
+    "degradation_from_misses",
+    "memory_stall_cycles",
+]

@@ -1,0 +1,76 @@
+"""CPU-time and degradation arithmetic (Eq. 1, 14, 15 of the paper).
+
+The paper estimates execution times with the Patterson & Hennessy model:
+
+    CPUTime = (CPU_Clock_Cycle + Memory_Stall_Cycle) * Clock_Cycle_Time   (14)
+    Memory_Stall_Cycle = Number_of_Misses * Miss_Penalty                  (15)
+
+and measures contention as the co-run degradation
+
+    d_{i,S} = (ct_{i,S} - ct_i) / ct_i                                    (1)
+
+where ``ct_i`` is the single-run time and ``ct_{i,S}`` the time when ``i``
+co-runs with the set ``S``.  These are pure functions; the SDC model supplies
+the co-run miss counts.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "memory_stall_cycles",
+    "cpu_time",
+    "corun_degradation",
+    "degradation_from_misses",
+]
+
+
+def memory_stall_cycles(n_misses: float, miss_penalty_cycles: float) -> float:
+    """Eq. 15: stall cycles spent waiting on cache misses."""
+    if n_misses < 0 or miss_penalty_cycles < 0:
+        raise ValueError("misses and penalty must be non-negative")
+    return n_misses * miss_penalty_cycles
+
+
+def cpu_time(
+    cpu_cycles: float,
+    n_misses: float,
+    miss_penalty_cycles: float,
+    clock_hz: float,
+) -> float:
+    """Eq. 14: wall time of a run given its work and its miss count."""
+    if cpu_cycles < 0:
+        raise ValueError("cpu_cycles must be non-negative")
+    if clock_hz <= 0:
+        raise ValueError("clock_hz must be positive")
+    stall = memory_stall_cycles(n_misses, miss_penalty_cycles)
+    return (cpu_cycles + stall) / clock_hz
+
+
+def corun_degradation(single_time: float, corun_time: float) -> float:
+    """Eq. 1: relative slowdown of a co-run versus the single run.
+
+    Clamped below at 0: the contention model can only add misses, and a tiny
+    negative value would only ever arise from floating-point noise.
+    """
+    if single_time <= 0:
+        raise ValueError("single-run time must be positive")
+    return max(0.0, (corun_time - single_time) / single_time)
+
+
+def degradation_from_misses(
+    cpu_cycles: float,
+    single_misses: float,
+    corun_misses: float,
+    miss_penalty_cycles: float,
+) -> float:
+    """Degradation straight from miss counts (clock cancels out of Eq. 1).
+
+    ``d = (extra_misses * penalty) / (cpu_cycles + single_misses * penalty)``.
+    """
+    if cpu_cycles < 0 or single_misses < 0 or corun_misses < 0:
+        raise ValueError("cycle/miss counts must be non-negative")
+    single_total = cpu_cycles + single_misses * miss_penalty_cycles
+    if single_total <= 0:
+        raise ValueError("single-run cycle count must be positive")
+    extra = max(0.0, corun_misses - single_misses)
+    return extra * miss_penalty_cycles / single_total

@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+    cosched list                      # available experiments
+    cosched run table1 [table3 ...]   # run experiments, print their tables
+    cosched run all
+    cosched solve --cluster quad BT CG EP FT IS LU MG SP
+    cosched solve --solver hastar --cluster eight <apps...>
+    cosched graph --cluster dual BT CG EP FT IS LU     # Fig. 3-style view
+    cosched simulate --jobs 60 --machines 4            # online policies
+
+``solve`` co-schedules named catalog programs and prints the schedule plus
+its degradation breakdown; ``graph`` renders the co-scheduling graph with
+the optimal path highlighted; ``simulate`` races online placement policies
+on a random arrival trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments import REGISTRY
+from .solvers import HAStar, OAStar, OSVP, PolitenessGreedy, ScipyMILP
+from .workloads.catalog import CATALOG
+from .workloads.mixes import serial_mix
+
+SOLVERS = {
+    "oastar": lambda: OAStar(),
+    "hastar": lambda: HAStar(),
+    "osvp": lambda: OSVP(),
+    "pg": lambda: PolitenessGreedy(),
+    "ip": lambda: ScipyMILP(),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in REGISTRY:
+        print(f"  {name}")
+    print("\nsolvers:", ", ".join(SOLVERS))
+    print("catalog programs:", ", ".join(sorted(CATALOG)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names: List[str] = args.experiments
+    if names == ["all"]:
+        names = list(REGISTRY)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+    for name in names:
+        result = REGISTRY[name]()
+        print(f"\n== {result.exp_id}: {result.title} ==")
+        print(result.text)
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    unknown = [a for a in args.apps if a not in CATALOG]
+    if unknown:
+        print(f"unknown program(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(CATALOG))}", file=sys.stderr)
+        return 2
+    problem = serial_mix(args.apps, cluster=args.cluster)
+    solver = SOLVERS[args.solver]()
+    result = solver.solve(problem)
+    print(result.schedule.pretty(problem.workload))
+    print(f"\nsolver: {result.solver}   time: {result.time_seconds:.4f}s")
+    print(f"total degradation: {result.objective:.6f}")
+    print(
+        "average degradation: "
+        f"{result.evaluation.average_job_degradation:.6f}"
+    )
+    for jid, d in sorted(result.evaluation.job_degradations.items()):
+        print(f"  {problem.workload.jobs[jid].name:10s} {d:.4f}")
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    unknown = [a for a in args.apps if a not in CATALOG]
+    if unknown:
+        print(f"unknown program(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    from .graph.coschedule_graph import CoSchedulingGraph
+    from .graph.visualize import ascii_levels, describe_path, to_dot
+
+    problem = serial_mix(args.apps, cluster=args.cluster)
+    graph = CoSchedulingGraph(problem)
+    result = SOLVERS["oastar"]().solve(problem)
+    if args.dot:
+        print(to_dot(graph, highlight=result.schedule))
+        return 0
+    print(ascii_levels(graph, highlight=result.schedule))
+    print()
+    print(describe_path(problem, result.schedule))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .sim import (
+        FirstFitPlacement,
+        LeastLoadedPlacement,
+        LeastPressurePlacement,
+        OnlineJob,
+        simulate,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    jobs = []
+    t = 0.0
+    for i in range(args.jobs):
+        t += float(rng.exponential(args.mean_interarrival))
+        jobs.append(OnlineJob(
+            name=f"job{i}", arrival=t,
+            work=float(rng.uniform(4, 16)),
+            pressure=float(rng.uniform(0.15, 0.75)),
+        ))
+
+    def contention(job, coset):
+        return job.pressure * sum(o.pressure for o in coset)
+
+    print(f"{args.jobs} jobs onto {args.machines} x {args.cores}-core "
+          "machines\n")
+    print(f"{'policy':>16} {'mean slowdown':>14} {'max':>8} {'makespan':>9}")
+    for policy in (FirstFitPlacement(), LeastLoadedPlacement(),
+                   LeastPressurePlacement()):
+        fresh = [OnlineJob(j.name, j.arrival, j.work, j.pressure)
+                 for j in jobs]
+        res = simulate(fresh, args.machines, args.cores, policy,
+                       degradation=contention)
+        print(f"{policy.name:>16} {res.mean_slowdown:>14.3f} "
+              f"{res.max_slowdown:>8.2f} {res.makespan:>9.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cosched",
+        description=(
+            "Contention-aware co-scheduling (ICPP'15 reproduction): run the "
+            "paper's experiments or solve ad-hoc instances."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments/solvers/programs")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run experiment(s) by id, or 'all'")
+    p_run.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_solve = sub.add_parser("solve", help="co-schedule catalog programs")
+    p_solve.add_argument("apps", nargs="+", metavar="PROGRAM")
+    p_solve.add_argument("--cluster", default="quad",
+                         choices=("dual", "quad", "eight"))
+    p_solve.add_argument("--solver", default="oastar", choices=tuple(SOLVERS))
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_graph = sub.add_parser(
+        "graph", help="render the co-scheduling graph (Fig. 3 style)"
+    )
+    p_graph.add_argument("apps", nargs="+", metavar="PROGRAM")
+    p_graph.add_argument("--cluster", default="dual",
+                         choices=("dual", "quad", "eight"))
+    p_graph.add_argument("--dot", action="store_true",
+                         help="emit Graphviz DOT instead of ASCII")
+    p_graph.set_defaults(func=_cmd_graph)
+
+    p_sim = sub.add_parser("simulate", help="online placement-policy race")
+    p_sim.add_argument("--jobs", type=int, default=60)
+    p_sim.add_argument("--machines", type=int, default=4)
+    p_sim.add_argument("--cores", type=int, default=4)
+    p_sim.add_argument("--mean-interarrival", type=float, default=0.5)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

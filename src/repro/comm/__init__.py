@@ -1,0 +1,16 @@
+"""Communication substrate: decompositions, Eq. 9-11, condensation keys."""
+
+from .model import CommunicationModel
+from .properties import comm_property, node_condensation_key
+from .topology import Decomposition, grid_1d, grid_2d, grid_3d, square_ish_grid
+
+__all__ = [
+    "CommunicationModel",
+    "comm_property",
+    "node_condensation_key",
+    "Decomposition",
+    "grid_1d",
+    "grid_2d",
+    "grid_3d",
+    "square_ish_grid",
+]

@@ -1,0 +1,79 @@
+"""Communication properties of graph nodes (Section III-E).
+
+The *communication property* of a parallel job inside a graph node is, per
+decomposition axis, the number of communications the job's processes in the
+node must perform with processes *outside* the node.  In Fig. 4 of the paper,
+node ``<1,2>`` of the 3x3 grid job has property ``(1, 2)``: one external
+x-neighbour (p2-p3) and two external y-neighbours (p1-p4, p2-p5).
+
+Nodes of a level are *condensable* when they contain the same serial jobs and
+every parallel job appears with the same process count and communication
+property — the processes of a parallel job are interchangeable, so such nodes
+have identical weight and lead to equivalent completions.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Hashable, Iterable, List, Tuple
+
+from ..core.jobs import JobKind, Workload
+from .topology import Decomposition
+
+__all__ = ["comm_property", "node_condensation_key"]
+
+
+def comm_property(
+    topo: Decomposition, ranks_in_group: AbstractSet[int]
+) -> Tuple[int, ...]:
+    """Per-axis external communication count of a group of ranks.
+
+    Counts ordered (member, outside-neighbour) incidences: a member with two
+    external neighbours on the same axis contributes 2, exactly as the
+    paper's ``(c_x, c_y)`` example counts each inter-node exchange.
+    """
+    counts = [0] * topo.ndim
+    for rank in ranks_in_group:
+        for axis, nbr in topo.neighbours(rank):
+            if nbr not in ranks_in_group:
+                counts[axis] += 1
+    return tuple(counts)
+
+
+def node_condensation_key(workload: Workload, node: Iterable[int]) -> Hashable:
+    """Equivalence key of a graph node for process condensation.
+
+    Two nodes in the same graph level condense iff their keys are equal:
+
+    * the same set of serial processes (serial jobs are individually
+      distinguishable — they never condense with each other);
+    * for every parallel job, the same number of member processes and — for
+      PC jobs — the same communication property.  PE processes carry no
+      communication, so any equal-sized subsets of a PE job are equivalent
+      (property ``()``), as the paper notes.
+    """
+    serial: List[int] = []
+    by_job: Dict[int, List[int]] = {}
+    for pid in node:
+        proc = workload.process(pid)
+        if proc.imaginary:
+            serial.append(pid)
+            continue
+        job = workload.jobs[proc.job_id]
+        if job.kind is JobKind.SERIAL:
+            serial.append(pid)
+        else:
+            by_job.setdefault(job.job_id, []).append(proc.rank)
+
+    parallel_part = []
+    for job_id in sorted(by_job):
+        job = workload.jobs[job_id]
+        ranks = frozenset(by_job[job_id])
+        if job.kind is JobKind.PC:
+            topo = job.topology
+            assert isinstance(topo, Decomposition)
+            prop: Tuple[int, ...] = comm_property(topo, ranks)
+        else:
+            prop = ()
+        parallel_part.append((job_id, len(ranks), prop))
+
+    return (tuple(sorted(serial)), tuple(parallel_part))

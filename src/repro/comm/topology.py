@@ -1,0 +1,189 @@
+"""Domain decompositions and neighbour patterns of PC jobs.
+
+A PC job's processes are laid out on a regular 1D/2D/3D Cartesian
+decomposition of its data set (Fig. 2 of the paper).  Each process
+communicates a halo with its face neighbours along every axis; the data
+volume ``α_i(k)`` exchanged with each neighbour is the same for all
+neighbours in the same dimension (the paper's observation, e.g.
+``α5(1) == α5(3)`` in Fig. 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Decomposition", "grid_1d", "grid_2d", "grid_3d", "square_ish_grid"]
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A non-periodic Cartesian process grid.
+
+    Attributes
+    ----------
+    dims:
+        Process counts per axis; ``len(dims)`` is the decomposition
+        dimensionality.  Ranks are laid out row-major (axis 0 slowest).
+    halo_bytes:
+        Data volume ``α`` exchanged with *each* neighbour along the
+        corresponding axis, per communication phase.
+    rank_to_pos:
+        Optional permutation mapping logical rank to grid position.
+        ``None`` is the identity (rank r sits at row-major position r).
+        A scrambled mapping models jobs whose rank numbering carries no
+        information about grid adjacency — without it, a scheduler that
+        happens to group *consecutive* rank ids is accidentally also
+        grouping grid neighbours.
+    """
+
+    dims: Tuple[int, ...]
+    halo_bytes: Tuple[float, ...]
+    rank_to_pos: Optional[Tuple[int, ...]] = None
+    periodic: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("decomposition needs at least one axis")
+        if any(d < 1 for d in self.dims):
+            raise ValueError("all dims must be >= 1")
+        if len(self.halo_bytes) != len(self.dims):
+            raise ValueError("halo_bytes must have one entry per axis")
+        if any(h < 0 for h in self.halo_bytes):
+            raise ValueError("halo volumes must be non-negative")
+        if self.rank_to_pos is not None:
+            if sorted(self.rank_to_pos) != list(range(self.nprocs)):
+                raise ValueError("rank_to_pos must be a permutation of ranks")
+        if self.periodic and any(d < 3 for d in self.dims if d > 1):
+            # A periodic axis of extent 2 would duplicate the same
+            # neighbour in both directions; extents 1 have no neighbours.
+            if any(d == 2 for d in self.dims):
+                raise ValueError(
+                    "periodic decompositions need axis extents of 1 or >= 3"
+                )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    @property
+    def nprocs(self) -> int:
+        return math.prod(self.dims)
+
+    def scrambled(self, seed: int) -> "Decomposition":
+        """A copy with ranks placed at random grid positions."""
+        import numpy as _np
+
+        perm = tuple(int(x) for x in
+                     _np.random.default_rng(seed).permutation(self.nprocs))
+        return Decomposition(dims=self.dims, halo_bytes=self.halo_bytes,
+                             rank_to_pos=perm, periodic=self.periodic)
+
+    def _pos_coords(self, pos: int) -> Tuple[int, ...]:
+        out = []
+        for size in reversed(self.dims):
+            out.append(pos % size)
+            pos //= size
+        return tuple(reversed(out))
+
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """Cartesian coordinates of ``rank`` (row-major layout)."""
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range for {self.dims}")
+        if self.rank_to_pos is not None:
+            rank = self.rank_to_pos[rank]
+        return self._pos_coords(rank)
+
+    def rank(self, coords: Sequence[int]) -> int:
+        """Inverse of :meth:`coords`."""
+        if len(coords) != self.ndim:
+            raise ValueError("coordinate dimensionality mismatch")
+        pos = 0
+        for c, size in zip(coords, self.dims):
+            if not 0 <= c < size:
+                raise ValueError(f"coordinate {coords} out of range for {self.dims}")
+            pos = pos * size + c
+        if self.rank_to_pos is not None:
+            return self.rank_to_pos.index(pos)
+        return pos
+
+    def neighbours(self, rank: int) -> List[Tuple[int, int]]:
+        """Face neighbours of ``rank`` as ``(axis, neighbour_rank)`` pairs.
+
+        Non-periodic (default): border processes have fewer neighbours
+        (``γ_i`` in Eq. 10 varies per process).  Periodic decompositions
+        wrap around each axis with extent >= 3 (tori — the communication
+        pattern of NPB codes like CG's reduction rings), so every process
+        has the full neighbour count.
+        """
+        base = self.coords(rank)
+        c = list(base)
+        out: List[Tuple[int, int]] = []
+        for axis in range(self.ndim):
+            size = self.dims[axis]
+            for delta in (-1, +1):
+                nc = c[axis] + delta
+                if self.periodic and size >= 3:
+                    nc %= size
+                elif not 0 <= nc < size:
+                    continue
+                c[axis] = nc
+                out.append((axis, self.rank(c)))
+                c[axis] = base[axis]
+        return out
+
+    def degree(self, rank: int) -> int:
+        """``γ_i``: number of neighbouring processes of ``rank``."""
+        return len(self.neighbours(rank))
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, int]]:
+        """All undirected neighbour pairs as ``(axis, lo_rank, hi_rank)``."""
+        for r in range(self.nprocs):
+            for axis, nbr in self.neighbours(r):
+                if nbr > r:
+                    yield (axis, r, nbr)
+
+
+def grid_1d(nprocs: int, halo_bytes: float,
+            periodic: bool = False) -> Decomposition:
+    """1D chain (or ring, with ``periodic=True``) decomposition."""
+    return Decomposition(dims=(nprocs,), halo_bytes=(halo_bytes,),
+                         periodic=periodic)
+
+
+def grid_2d(nx: int, ny: int, halo_bytes: float | Tuple[float, float],
+            periodic: bool = False) -> Decomposition:
+    """2D grid (or torus) decomposition; scalar halo applies to both axes."""
+    halos = (halo_bytes, halo_bytes) if isinstance(halo_bytes, (int, float)) else tuple(halo_bytes)
+    return Decomposition(dims=(nx, ny), halo_bytes=halos, periodic=periodic)
+
+
+def grid_3d(
+    nx: int, ny: int, nz: int, halo_bytes: float | Tuple[float, float, float]
+) -> Decomposition:
+    """3D grid decomposition; scalar halo applies to all axes."""
+    halos = (
+        (halo_bytes,) * 3 if isinstance(halo_bytes, (int, float)) else tuple(halo_bytes)
+    )
+    return Decomposition(dims=(nx, ny, nz), halo_bytes=halos)
+
+
+def square_ish_grid(nprocs: int, halo_bytes: float) -> Decomposition:
+    """The most square 2D grid with exactly ``nprocs`` processes.
+
+    MPI codes pick near-square process grids to minimize halo surface; this
+    mirrors that choice for arbitrary process counts (falls back to 1D for
+    primes).
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    best = 1
+    for f in range(1, int(math.isqrt(nprocs)) + 1):
+        if nprocs % f == 0:
+            best = f
+    if best == 1:
+        return grid_1d(nprocs, halo_bytes)
+    return grid_2d(best, nprocs // best, halo_bytes)

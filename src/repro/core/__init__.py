@@ -1,0 +1,56 @@
+"""Core problem model: jobs, machines, degradations, schedules, objectives."""
+
+from .degradation import (
+    CacheDegradationModel,
+    MatrixDegradationModel,
+    MissRatePressureModel,
+    SDCDegradationModel,
+)
+from .jobs import Job, JobKind, Process, Workload, pc_job, pe_job, serial_job
+from .machine import (
+    CLUSTERS,
+    DUAL_CORE,
+    DUAL_CORE_CLUSTER,
+    EIGHT_CORE,
+    EIGHT_CORE_CLUSTER,
+    MACHINES,
+    QUAD_CORE,
+    QUAD_CORE_CLUSTER,
+    CacheSpec,
+    ClusterSpec,
+    MachineSpec,
+)
+from .objective import ScheduleEvaluation, evaluate_schedule, partial_distance
+from .problem import CoSchedulingProblem
+from .schedule import CoSchedule, validate_groups
+
+__all__ = [
+    "CacheDegradationModel",
+    "MatrixDegradationModel",
+    "MissRatePressureModel",
+    "SDCDegradationModel",
+    "Job",
+    "JobKind",
+    "Process",
+    "Workload",
+    "pc_job",
+    "pe_job",
+    "serial_job",
+    "CacheSpec",
+    "ClusterSpec",
+    "MachineSpec",
+    "DUAL_CORE",
+    "QUAD_CORE",
+    "EIGHT_CORE",
+    "DUAL_CORE_CLUSTER",
+    "QUAD_CORE_CLUSTER",
+    "EIGHT_CORE_CLUSTER",
+    "MACHINES",
+    "CLUSTERS",
+    "ScheduleEvaluation",
+    "evaluate_schedule",
+    "partial_distance",
+    "CoSchedulingProblem",
+    "CoSchedule",
+    "validate_groups",
+]

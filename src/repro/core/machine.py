@@ -1,0 +1,128 @@
+"""Machine and cluster specifications.
+
+The paper evaluates on three machine types; we model exactly the parameters
+its prediction pipeline consumes (Eq. 14-15): core count, shared-cache
+geometry, clock rate and the miss penalty, plus the cluster interconnect
+bandwidth ``B`` used by the communication model (Eq. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry of the cache level shared between co-running processes."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache parameters must be positive")
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ValueError(
+                "cache size must be a multiple of associativity * line size"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One multicore machine: ``cores`` processes co-run sharing ``shared_cache``.
+
+    ``clock_hz`` and ``miss_penalty_cycles`` feed the CPU-time model
+    (Eq. 14-15): ``CPUTime = (cpu_cycles + misses * penalty) / clock``.
+    """
+
+    name: str
+    cores: int
+    shared_cache: CacheSpec
+    clock_hz: float
+    miss_penalty_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("machine needs >= 1 core")
+        if self.clock_hz <= 0 or self.miss_penalty_cycles < 0:
+            raise ValueError("clock must be positive, miss penalty non-negative")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of identical machines linked by a network.
+
+    ``bandwidth_bytes_per_s`` is ``B`` in Eq. 10 — the paper notes the
+    inter-machine bandwidth in a cluster is uniform (10 GbE in their testbed).
+    """
+
+    machine: MachineSpec
+    bandwidth_bytes_per_s: float = 10e9 / 8  # 10 Gigabit Ethernet
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @property
+    def cores(self) -> int:
+        return self.machine.cores
+
+
+# ---------------------------------------------------------------------- #
+# The paper's three machine types (Section V)
+# ---------------------------------------------------------------------- #
+
+#: Intel Core 2 Duo: per-core 32KB L1, shared 4MB 16-way L2.
+DUAL_CORE = MachineSpec(
+    name="dual-core (Core 2 Duo, 4MB 16-way shared L2)",
+    cores=2,
+    shared_cache=CacheSpec(size_bytes=4 * 1024 * 1024, associativity=16),
+    clock_hz=2.4e9,
+    miss_penalty_cycles=200.0,
+)
+
+#: Intel Core i7-2600: per-core L1/L2, shared 8MB 16-way L3.
+QUAD_CORE = MachineSpec(
+    name="quad-core (i7-2600, 8MB 16-way shared L3)",
+    cores=4,
+    shared_cache=CacheSpec(size_bytes=8 * 1024 * 1024, associativity=16),
+    clock_hz=3.4e9,
+    miss_penalty_cycles=250.0,
+)
+
+#: Intel Xeon E5-2450L: per-core L1/L2, shared 20MB 16-way L3 over 8 cores.
+EIGHT_CORE = MachineSpec(
+    name="8-core (Xeon E5-2450L, 20MB 16-way shared L3)",
+    cores=8,
+    shared_cache=CacheSpec(
+        size_bytes=20 * 1024 * 1024, associativity=16, line_bytes=64
+    ),
+    clock_hz=1.8e9,
+    miss_penalty_cycles=280.0,
+)
+
+#: 10 GbE clusters of each machine type, as in the paper's testbed.
+DUAL_CORE_CLUSTER = ClusterSpec(machine=DUAL_CORE)
+QUAD_CORE_CLUSTER = ClusterSpec(machine=QUAD_CORE)
+EIGHT_CORE_CLUSTER = ClusterSpec(machine=EIGHT_CORE)
+
+MACHINES = {
+    "dual": DUAL_CORE,
+    "quad": QUAD_CORE,
+    "eight": EIGHT_CORE,
+}
+
+CLUSTERS = {
+    "dual": DUAL_CORE_CLUSTER,
+    "quad": QUAD_CORE_CLUSTER,
+    "eight": EIGHT_CORE_CLUSTER,
+}

@@ -1,0 +1,197 @@
+"""The co-scheduling problem bundle.
+
+:class:`CoSchedulingProblem` ties a workload, a machine/cluster, a cache
+degradation model and (optionally) a communication model into the single
+callable every solver uses:
+
+* ``degradation(pid, coset)`` — Eq. 1 for serial/PE processes, Eq. 9
+  (cache degradation + normalized communication time) for PC processes;
+* ``node_weight(node)`` — the graph-node weight of Fig. 3: the total
+  degradation of the ``u`` processes placed together on one machine.
+
+All values are memoized; degradations are pure functions of ``(pid, coset)``
+so solvers can share one problem instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..comm.model import CommunicationModel
+from .degradation import CacheDegradationModel
+from .jobs import JobKind, Workload
+from .machine import ClusterSpec
+
+__all__ = ["CoSchedulingProblem"]
+
+
+class CoSchedulingProblem:
+    """A fully-specified instance: who is scheduled, where, and at what cost.
+
+    Parameters
+    ----------
+    workload:
+        The processes to place (already padded to a multiple of ``u``).
+    cluster:
+        Machine type (``u`` cores) and interconnect bandwidth.
+    degradation_model:
+        Cache-contention degradations (Eq. 1).
+    comm_model:
+        Communication times for PC processes (Eq. 10-11).  ``None`` means no
+        PC jobs, or treat them as PE (the paper's OA*-PE ablation does this
+        deliberately).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        cluster: ClusterSpec,
+        degradation_model: CacheDegradationModel,
+        comm_model: Optional[CommunicationModel] = None,
+        node_extra_cost: Optional[object] = None,
+    ):
+        if workload.n % cluster.cores != 0:
+            raise ValueError(
+                f"workload has {workload.n} processes, not a multiple of "
+                f"u={cluster.cores}; construct Workload with cores_per_machine"
+            )
+        self.workload = workload
+        self.cluster = cluster
+        self.model = degradation_model
+        self.comm = comm_model
+        #: Optional callable ``node -> float`` adding a non-negative cost to
+        #: every machine grouping beyond its members' degradations.  Used by
+        #: extensions (e.g. VM migration penalties); the objective, all
+        #: solvers and the IP formulation include it uniformly, and h(v)
+        #: ignores it (costs are >= 0, so heuristics stay admissible).
+        self.node_extra_cost = node_extra_cost
+        self._deg_cache: Dict[Tuple[int, FrozenSet[int]], float] = {}
+        self._node_cache: Dict[Tuple[int, ...], float] = {}
+        self._extra_cache: Dict[Tuple[int, ...], float] = {}
+        self.stats = {"degradation_evals": 0, "node_evals": 0}
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        return self.workload.n
+
+    @property
+    def u(self) -> int:
+        return self.cluster.cores
+
+    @property
+    def n_machines(self) -> int:
+        return self.n // self.u
+
+    # ------------------------------------------------------------------ #
+
+    def degradation(self, pid: int, coset: Iterable[int]) -> float:
+        """``d_{pid, coset}`` — communication-combined for PC processes (Eq. 9)."""
+        key = (pid, frozenset(coset) - {pid})
+        hit = self._deg_cache.get(key)
+        if hit is not None:
+            return hit
+        self.stats["degradation_evals"] += 1
+        if self.workload.is_imaginary(pid):
+            d = 0.0
+        else:
+            # Imaginary co-runners exert no contention: filter them out.
+            real = frozenset(
+                q for q in key[1] if not self.workload.is_imaginary(q)
+            )
+            d = self.model.cache_degradation(pid, real)
+            if self.comm is not None and self.comm.is_communicating(pid):
+                ct = self.model.single_time(pid)
+                d += self.comm.comm_time(pid, key[1]) / ct
+        self._deg_cache[key] = d
+        return d
+
+    def node_weight(self, node: Tuple[int, ...]) -> float:
+        """Total degradation of the processes co-located in ``node``,
+        plus any node-level extra cost."""
+        key = tuple(sorted(node))
+        hit = self._node_cache.get(key)
+        if hit is not None:
+            return hit
+        self.stats["node_evals"] += 1
+        members = frozenset(key)
+        w = sum(self.degradation(pid, members - {pid}) for pid in key)
+        w += self.extra_cost(key)
+        self._node_cache[key] = w
+        return w
+
+    def extra_cost(self, node: Tuple[int, ...]) -> float:
+        """Node-level extra cost (0 unless an extension installs one)."""
+        if self.node_extra_cost is None:
+            return 0.0
+        key = tuple(sorted(node))
+        hit = self._extra_cache.get(key)
+        if hit is None:
+            hit = float(self.node_extra_cost(key))
+            if hit < 0:
+                raise ValueError("node extra costs must be non-negative")
+            self._extra_cache[key] = hit
+        return hit
+
+    def node_h_weight(self, node: Tuple[int, ...], parallel_as: str = "zero") -> float:
+        """Node weight for h(v) estimation.
+
+        ``parallel_as="zero"`` counts only serial processes (admissible: a
+        parallel process's degradation may be absorbed into its job's max,
+        contributing nothing beyond what g already counts).
+        ``parallel_as="sum"`` reproduces the paper's literal node weight.
+        """
+        if parallel_as == "sum":
+            return self.node_weight(node)
+        if parallel_as != "zero":
+            raise ValueError(f"unknown parallel_as={parallel_as!r}")
+        members = frozenset(node)
+        w = 0.0
+        for pid in node:
+            if self.workload.kind_of(pid) is JobKind.SERIAL:
+                w += self.degradation(pid, members - {pid})
+        return w
+
+    # ------------------------------------------------------------------ #
+
+    def min_process_degradation(self, pid: int) -> float:
+        """Admissible floor on ``d_{pid,S}`` over every possible coset.
+
+        Cache part from the model's :meth:`min_degradation` (best-case
+        co-runners, globally relaxed), plus — for PC processes — the
+        communication a u-core machine cannot avoid (at most ``u - 1``
+        neighbours can be co-located).
+        """
+        if self.workload.is_imaginary(pid):
+            return 0.0
+        universe = [
+            q for q in range(self.n)
+            if q != pid and not self.workload.is_imaginary(q)
+        ]
+        # Imaginary pads shrink the real co-runner count, and degradation
+        # need not be monotone in coset size, so take the min over every
+        # feasible real-coset size.
+        k_hi = min(self.u - 1, len(universe))
+        k_lo = max(0, self.u - 1 - self.workload.n_imaginary)
+        d = min(
+            self.model.min_degradation(pid, universe, k)
+            for k in range(k_lo, k_hi + 1)
+        )
+        if self.comm is not None and self.comm.is_communicating(pid):
+            ct = self.model.single_time(pid)
+            d += self.comm.min_comm_time(pid, self.u - 1) / ct
+        return d
+
+    def parallel_job_of(self, pid: int) -> Optional[int]:
+        """Owning parallel job id of ``pid``, or None for serial/imaginary."""
+        job = self.workload.job_of(pid)
+        if job is None or not job.is_parallel:
+            return None
+        return job.job_id
+
+    def clear_caches(self) -> None:
+        self._deg_cache.clear()
+        self._node_cache.clear()
+        self._extra_cache.clear()
+        self.stats = {"degradation_evals": 0, "node_evals": 0}

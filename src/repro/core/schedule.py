@@ -1,0 +1,102 @@
+"""Co-schedule representation and validation.
+
+A co-schedule partitions the ``n`` processes into ``m = n/u`` machines of
+``u`` cores.  Machines are identical, so a schedule is canonically a set of
+u-cardinality process groups; we normalize each group ascending and order
+groups by their smallest member — exactly the node coding of the paper's
+co-scheduling graph, so a schedule *is* a valid path's node sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .jobs import Workload
+
+__all__ = ["CoSchedule", "validate_groups"]
+
+
+def validate_groups(groups: Sequence[Sequence[int]], n: int, u: int) -> None:
+    """Raise ``ValueError`` unless ``groups`` is a partition of ``0..n-1``
+    into ``n/u`` groups of exactly ``u``."""
+    if n % u != 0:
+        raise ValueError(f"n={n} not divisible by u={u} (pad the workload)")
+    if len(groups) != n // u:
+        raise ValueError(f"expected {n // u} groups, got {len(groups)}")
+    seen = set()
+    for g in groups:
+        if len(g) != u:
+            raise ValueError(f"group {tuple(g)} has {len(g)} processes, expected {u}")
+        for pid in g:
+            if not 0 <= pid < n:
+                raise ValueError(f"process id {pid} out of range 0..{n - 1}")
+            if pid in seen:
+                raise ValueError(f"process {pid} appears in more than one group")
+            seen.add(pid)
+    # len(groups)*u == n and no duplicates => full coverage.
+
+
+@dataclass(frozen=True)
+class CoSchedule:
+    """An immutable, canonicalized co-schedule.
+
+    ``groups[k]`` is the ascending tuple of process ids on machine ``k``;
+    groups are ordered by smallest member, so equality between schedules is
+    semantic (machine identities don't matter).
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+    u: int
+
+    @classmethod
+    def from_groups(cls, groups: Iterable[Iterable[int]], u: int,
+                    n: int | None = None) -> "CoSchedule":
+        canon = tuple(sorted((tuple(sorted(g)) for g in groups), key=lambda g: g[0]))
+        total = sum(len(g) for g in canon)
+        validate_groups(canon, n if n is not None else total, u)
+        return cls(groups=canon, u=u)
+
+    @classmethod
+    def from_assignment(cls, machine_of: Sequence[int], u: int) -> "CoSchedule":
+        """Build from a per-process machine index vector."""
+        buckets: dict[int, List[int]] = {}
+        for pid, mach in enumerate(machine_of):
+            buckets.setdefault(mach, []).append(pid)
+        return cls.from_groups(buckets.values(), u=u)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        return sum(len(g) for g in self.groups)
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.groups)
+
+    def machine_of(self) -> List[int]:
+        """Per-process machine index (inverse of :meth:`from_assignment`)."""
+        out = [-1] * self.n
+        for k, g in enumerate(self.groups):
+            for pid in g:
+                out[pid] = k
+        return out
+
+    def coset_of(self, pid: int) -> frozenset:
+        """The processes co-running with ``pid`` (its ``S_i``)."""
+        for g in self.groups:
+            if pid in g:
+                return frozenset(g) - {pid}
+        raise KeyError(f"process {pid} not in schedule")
+
+    def pretty(self, workload: Workload | None = None) -> str:
+        """Render one machine per line, with job labels when available."""
+        lines = []
+        for k, g in enumerate(self.groups):
+            if workload is None:
+                members = ", ".join(str(p) for p in g)
+            else:
+                members = ", ".join(workload.label(p) for p in g)
+            lines.append(f"machine {k}: [{members}]")
+        return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Per-table/figure experiment runners (Section V of the paper).
+
+``REGISTRY`` maps experiment ids to their ``run`` callables; the CLI and the
+benchmark harness both dispatch through it.  Each module documents paper-
+scale vs default (laptop-scale) parameters.
+"""
+
+from . import fig5, fig6, fig7, fig8, fig9, fig10, fig12, fig13, table1, table2, table3, table4
+from .common import ExperimentResult
+
+REGISTRY = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig10.run_fig11,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+}
+
+__all__ = ["REGISTRY", "ExperimentResult"]

@@ -1,0 +1,40 @@
+"""Shared scaffolding for the per-table/per-figure experiment runners.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` whose
+defaults finish on a laptop in seconds-to-minutes.  The paper-scale
+parameters are documented per runner (``paper_params``); EXPERIMENTS.md
+records which scale each recorded result used.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator
+
+__all__ = ["ExperimentResult", "timed"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered + structured output of one experiment."""
+
+    exp_id: str
+    title: str
+    text: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"== {self.exp_id}: {self.title} ==\n{self.text}"
+
+
+@contextmanager
+def timed() -> Iterator[Dict[str, float]]:
+    """Context manager capturing wall time into the yielded dict."""
+    out = {"seconds": 0.0}
+    t0 = time.perf_counter()
+    try:
+        yield out
+    finally:
+        out["seconds"] = time.perf_counter() - t0

@@ -1,0 +1,91 @@
+"""Fig. 5 — MER statistics over random graphs, and what they justify.
+
+Paper: for batches of 24/32/48/56 synthetic jobs (cache-miss rate drawn
+uniformly from [15%, 75%]) on quad-core and 8-core machines, build K=1000
+random co-scheduling graphs, find each one's shortest path with OA*, and
+record the Maximum Effective Rank — finding MER ≤ n/u for ≳98% of graphs,
+which justifies HA*'s per-level trimming.
+
+This reproduction measures the same two quantities per random graph:
+
+* the **MER of the exact optimum** (as defined in Section IV), and
+* the **HA\\* optimality gap** — how far the n/u-trimmed search lands from
+  the optimum, which is the property HA* actually needs.
+
+Finding (see EXPERIMENTS.md): under every degradation model we tested, the
+exact optimum's MER routinely *exceeds* n/u — yet HA* stays within ~10-15%
+of optimal, matching the paper's own Figs. 10-11 quality numbers.  The
+trimmed graph loses the single exact optimum but retains near-optimal
+paths; the n/u rule works for a subtler reason than the published
+statistics suggest.
+
+Paper-scale: ``job_counts=(24, 32, 48, 56)``, ``k_graphs=1000``, quad and
+8-core.  Defaults are laptop-scale (exact OA* over the SDC pipeline is the
+cost driver).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..analysis.mer import mer_of_schedule
+from ..analysis.reporting import render_table
+from ..analysis.stats import cdf_at
+from ..core.machine import CLUSTERS
+from ..solvers import HAStar, OAStar
+from ..workloads.synthetic import random_profile_instance
+from .common import ExperimentResult
+
+EXP_ID = "fig5"
+TITLE = "MER of the optimal path and HA* optimality gap (random graphs)"
+
+
+def run(
+    job_counts: Sequence[int] = (12, 16),
+    cluster: str = "quad",
+    k_graphs: int = 8,
+    seed0: int = 0,
+) -> ExperimentResult:
+    u = CLUSTERS[cluster].cores
+    rows = []
+    data: Dict[int, Dict[str, object]] = {}
+    for n in job_counts:
+        mers: List[int] = []
+        gaps: List[float] = []
+        for k in range(k_graphs):
+            problem = random_profile_instance(n, cluster=cluster,
+                                              seed=seed0 + k)
+            optimal = OAStar().solve(problem)
+            mers.append(mer_of_schedule(problem, optimal.schedule))
+            problem.clear_caches()
+            trimmed = HAStar().solve(problem)
+            gap = 0.0
+            if optimal.objective > 0:
+                gap = (trimmed.objective - optimal.objective) / optimal.objective
+            gaps.append(100.0 * gap)
+        bound = n // u
+        frac_mer = cdf_at(mers, bound)
+        rows.append([
+            n, bound, int(np.median(mers)), max(mers),
+            f"{100 * frac_mer:.0f}%",
+            f"{float(np.mean(gaps)):.1f}%", f"{max(gaps):.1f}%",
+        ])
+        data[n] = {
+            "mers": mers,
+            "bound_n_over_u": bound,
+            "fraction_within_bound": frac_mer,
+            "hastar_gaps_percent": gaps,
+            "mean_gap_percent": float(np.mean(gaps)),
+        }
+    headers = [
+        "Jobs", "n/u", "median MER", "max MER", "% MER<=n/u",
+        "mean HA* gap", "max HA* gap",
+    ]
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=f"{TITLE} [{cluster}-core, K={k_graphs}]",
+        text=render_table(headers, rows, title=f"{TITLE} ({cluster})"),
+        data=data,
+    )

@@ -1,0 +1,93 @@
+"""Fig. 7 — OA*-PC vs OA*-PE: why PC jobs need communication-combined d.
+
+Paper: 4 NPB-MPI jobs (11 processes each: BT-Par, LU-Par, MG-Par, CG-Par)
+plus serial programs.  OA*-PC schedules with the communication-combined
+degradation (Eq. 9); OA*-PE ignores inter-process communication when
+scheduling, and its schedule is then *scored* with Eq. 9.  The paper finds
+OA*-PE's schedule ~36-40% worse: placements that ignore which neighbours
+land together pay for it in communication.  Paper-scale:
+``procs_per_job=11``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..analysis.reporting import render_table
+from ..core.objective import evaluate_schedule
+from ..solvers import OAStar
+from ..workloads.mixes import pc_serial_mix
+from .common import ExperimentResult
+
+EXP_ID = "fig7"
+TITLE = "CCD under OA*-PC vs OA*-PE for an MPI + serial mix"
+
+
+def run(
+    procs_per_job: int = 5,
+    pc_names: Sequence[str] = ("MG-Par", "CG-Par"),
+    serial_names: Sequence[str] = ("UA", "DC", "FT", "IS", "BT", "EP"),
+    cluster: str = "quad",
+    condense: bool = True,
+    halo_scale: float = 160.0,
+    scramble_seed: int = 1,
+) -> ExperimentResult:
+    """Defaults are scaled from the paper's 4 jobs x 11 ranks to 2 jobs x 5
+    ranks (exact search budget).  Three calibrations keep the figure's
+    regime intact at the smaller size: 5-rank jobs cannot fit on one
+    quad-core machine (rank placement must matter); rank ids are scrambled
+    relative to grid positions (a communication-blind scheduler gets no
+    free adjacency); and ``halo_scale`` raises communication to a
+    first-class cost, as in the paper's measured CCDs (its Fig. 7 y-axis
+    reaches ~15-20, i.e. communication dominated compute)."""
+    # The true problem: communication-combined degradations (Eq. 9).
+    problem = pc_serial_mix(
+        procs_per_job=procs_per_job,
+        pc_names=pc_names,
+        serial_names=serial_names,
+        cluster=cluster,
+        halo_scale=halo_scale,
+        scramble_seed=scramble_seed,
+    )
+    pc_result = OAStar(name="OA*-PC", condense=condense).solve(problem)
+
+    # OA*-PE: schedule ignoring communications (comm model dropped)...
+    blind = pc_serial_mix(
+        procs_per_job=procs_per_job,
+        pc_names=pc_names,
+        serial_names=serial_names,
+        cluster=cluster,
+        treat_pc_as_pe=True,
+        halo_scale=halo_scale,
+        scramble_seed=scramble_seed,
+    )
+    pe_result = OAStar(name="OA*-PE", condense=condense).solve(blind)
+    # ... then score with the communication-aware objective.
+    pe_eval = evaluate_schedule(problem, pe_result.schedule)
+
+    rows = []
+    per_job: Dict[str, Dict[str, float]] = {}
+    for job in problem.workload.jobs:
+        d_pc = pc_result.evaluation.job_degradations[job.job_id]
+        d_pe = pe_eval.job_degradations[job.job_id]
+        rows.append([job.name, d_pc, d_pe])
+        per_job[job.name] = {"oastar_pc": d_pc, "oastar_pe": d_pe}
+    avg_pc = pc_result.evaluation.average_job_degradation
+    avg_pe = pe_eval.average_job_degradation
+    rows.append(["AVG", avg_pc, avg_pe])
+    worse = (avg_pe - avg_pc) / avg_pc * 100 if avg_pc > 0 else 0.0
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=f"{TITLE} [{cluster}-core]",
+        text=render_table(
+            ["Job", "OA*-PC", "OA*-PE"],
+            rows,
+            title=f"{TITLE} ({cluster}); OA*-PE worse by {worse:.1f}%",
+        ),
+        data={
+            "per_job": per_job,
+            "avg_pc": avg_pc,
+            "avg_pe": avg_pe,
+            "pe_worse_by_percent": worse,
+        },
+    )

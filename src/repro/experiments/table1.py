@@ -1,0 +1,56 @@
+"""Table I — optimality cross-check of OA* vs IP on serial jobs.
+
+Paper: co-scheduling 8/12/16 serial NPB-SER + SPEC programs on dual- and
+quad-core machines; the IP solver and OA* must report identical (optimal)
+average degradations.  Paper-scale parameters: ``sizes=(8, 12, 16)``,
+``clusters=("dual", "quad")``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..analysis.reporting import render_table
+from ..solvers import OAStar, ScipyMILP
+from ..workloads.mixes import TABLE1_SETS, serial_mix
+from .common import ExperimentResult
+
+EXP_ID = "table1"
+TITLE = "Comparison between OA* and IP for serial jobs (avg degradation)"
+
+
+def run(
+    sizes: Sequence[int] = (8, 12, 16),
+    clusters: Sequence[str] = ("dual", "quad"),
+) -> ExperimentResult:
+    rows = []
+    data = {}
+    for n in sizes:
+        names = TABLE1_SETS[n]
+        row = [n]
+        for cluster in clusters:
+            problem = serial_mix(names, cluster=cluster)
+            ip = ScipyMILP().solve(problem)
+            problem.clear_caches()
+            oa = OAStar().solve(problem)
+            row += [
+                ip.evaluation.average_job_degradation,
+                oa.evaluation.average_job_degradation,
+            ]
+            data[(n, cluster)] = {
+                "ip": ip.evaluation.average_job_degradation,
+                "oastar": oa.evaluation.average_job_degradation,
+                "ip_time": ip.time_seconds,
+                "oastar_time": oa.time_seconds,
+                "match": abs(ip.objective - oa.objective) < 1e-9,
+            }
+        rows.append(row)
+    headers = ["Jobs"] + [
+        f"{c} {s}" for c in clusters for s in ("IP", "OA*")
+    ]
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        text=render_table(headers, rows, title=TITLE),
+        data=data,
+    )

@@ -1,0 +1,53 @@
+"""Table II — optimality cross-check of OA* vs IP on serial + parallel mixes.
+
+Paper: MG-Par and LU-Par (2-4 processes each) combined with SPEC/NPB serial
+programs for 8/12/16 total processes on dual- and quad-core machines; IP and
+OA* average degradations must coincide.  Paper-scale parameters:
+``sizes=(8, 12, 16)``, ``clusters=("dual", "quad")``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.reporting import render_table
+from ..solvers import OAStar, ScipyMILP
+from ..workloads.mixes import mixed_parallel_serial
+from .common import ExperimentResult
+
+EXP_ID = "table2"
+TITLE = "Comparison of IP and OA* for serial and parallel jobs (avg degradation)"
+
+
+def run(
+    sizes: Sequence[int] = (8, 12, 16),
+    clusters: Sequence[str] = ("dual", "quad"),
+) -> ExperimentResult:
+    rows = []
+    data = {}
+    for n in sizes:
+        row = [n]
+        for cluster in clusters:
+            problem = mixed_parallel_serial(n, cluster=cluster)
+            ip = ScipyMILP().solve(problem)
+            problem.clear_caches()
+            oa = OAStar().solve(problem)
+            row += [
+                ip.evaluation.average_job_degradation,
+                oa.evaluation.average_job_degradation,
+            ]
+            data[(n, cluster)] = {
+                "ip": ip.evaluation.average_job_degradation,
+                "oastar": oa.evaluation.average_job_degradation,
+                "ip_time": ip.time_seconds,
+                "oastar_time": oa.time_seconds,
+                "match": abs(ip.objective - oa.objective) < 1e-9,
+            }
+        rows.append(row)
+    headers = ["Procs"] + [f"{c} {s}" for c in clusters for s in ("IP", "OA*")]
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        text=render_table(headers, rows, title=TITLE),
+        data=data,
+    )

@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's evaluated scope (its stated future work)."""
+
+from .vm import MigrationCost, VMPlacementProblem, migration_count, replan
+
+__all__ = ["MigrationCost", "VMPlacementProblem", "migration_count", "replan"]

@@ -1,0 +1,24 @@
+"""Co-scheduling graph machinery: levels, lazy enumeration, condensation."""
+
+from .coschedule_graph import END, START, CoSchedulingGraph
+from .levels import HeuristicEstimator, SuccessorGenerator
+from .visualize import ascii_levels, describe_path, to_dot
+from .subset_enum import (
+    iter_subsets_by_weight,
+    iter_subsets_exact,
+    iter_subsets_monotone,
+)
+
+__all__ = [
+    "CoSchedulingGraph",
+    "START",
+    "END",
+    "HeuristicEstimator",
+    "SuccessorGenerator",
+    "iter_subsets_by_weight",
+    "iter_subsets_exact",
+    "iter_subsets_monotone",
+    "ascii_levels",
+    "describe_path",
+    "to_dot",
+]

@@ -1,0 +1,107 @@
+"""Lazy best-first subset enumeration.
+
+At the paper's largest scales (Fig. 12-13: up to 1208 jobs on 8-core
+machines) a single graph level holds ~C(1200, 7) nodes, so "sort the nodes of
+each level by weight" (Section IV) cannot be done by materializing the level.
+For *member-wise monotone* weight functions — replacing a subset member with
+a higher-ranked item never decreases the weight, which holds for
+:class:`~repro.core.degradation.MissRatePressureModel` — the k lowest-weight
+subsets can be enumerated lazily with a heap, in the style of the classic
+k-smallest-sums algorithm.
+
+:func:`iter_subsets_by_weight` dispatches between the lazy enumerator and an
+exact sort-everything fallback for arbitrary weight functions at small n.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+__all__ = ["iter_subsets_monotone", "iter_subsets_exact", "iter_subsets_by_weight"]
+
+
+def iter_subsets_monotone(
+    items: Sequence[int],
+    k: int,
+    weight: Callable[[Tuple[int, ...]], float],
+    rank_key: Callable[[int], float],
+) -> Iterator[Tuple[Tuple[int, ...], float]]:
+    """Yield k-subsets of ``items`` in non-decreasing ``weight`` order.
+
+    Requires member-wise monotonicity of ``weight`` with respect to
+    ``rank_key``: swapping a member for an item of higher rank key must never
+    decrease the weight.  Under that contract the heap frontier property
+    holds and subsets pop in exactly ascending weight.
+
+    Yields ``(subset, weight)`` with subsets as tuples of items (in rank
+    order).  Lazily explores only what is consumed: taking the first ``t``
+    subsets costs ``O(t * k * log)`` heap operations.
+    """
+    n = len(items)
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    if k == 0:
+        yield ((), 0.0)
+        return
+    if k > n:
+        return
+    ordered = sorted(items, key=rank_key)
+
+    def subset_of(index_tuple: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(ordered[i] for i in index_tuple)
+
+    start = tuple(range(k))
+    heap: List[Tuple[float, Tuple[int, ...]]] = [(weight(subset_of(start)), start)]
+    seen = {start}
+    while heap:
+        w, idx = heapq.heappop(heap)
+        yield (subset_of(idx), w)
+        # Successors: advance any single index while keeping strict ascent.
+        for j in range(k):
+            nxt = idx[j] + 1
+            if j + 1 < k and nxt >= idx[j + 1]:
+                continue
+            if nxt >= n:
+                continue
+            child = idx[:j] + (nxt,) + idx[j + 1 :]
+            if child in seen:
+                continue
+            seen.add(child)
+            heapq.heappush(heap, (weight(subset_of(child)), child))
+
+
+def iter_subsets_exact(
+    items: Sequence[int],
+    k: int,
+    weight: Callable[[Tuple[int, ...]], float],
+) -> Iterator[Tuple[Tuple[int, ...], float]]:
+    """Materialize every k-subset, sort by weight, yield ascending.
+
+    Exact for arbitrary weight functions; only viable when ``C(|items|, k)``
+    is modest (all the paper's catalog-scale experiments).
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    scored = [
+        (weight(c), c) for c in itertools.combinations(sorted(items), k)
+    ]
+    scored.sort(key=lambda t: (t[0], t[1]))
+    for w, c in scored:
+        yield (c, w)
+
+
+def iter_subsets_by_weight(
+    items: Sequence[int],
+    k: int,
+    weight: Callable[[Tuple[int, ...]], float],
+    rank_key: Callable[[int], float] | None = None,
+    monotone: bool = False,
+) -> Iterator[Tuple[Tuple[int, ...], float]]:
+    """Dispatch: lazy heap enumeration when ``monotone``, else exact sort."""
+    if monotone:
+        if rank_key is None:
+            raise ValueError("monotone enumeration requires rank_key")
+        return iter_subsets_monotone(items, k, weight, rank_key)
+    return iter_subsets_exact(items, k, weight)

@@ -1,0 +1,78 @@
+"""Solver portfolios — run several configurations, keep the best.
+
+The simplest form of the paper's future-work parallelization: different
+solver configurations (h strategies, beam widths, greedy seeds) have
+complementary strengths, so racing them and keeping the best schedule is an
+easy quality/robustness win.  The portfolio runs members sequentially by
+default (fair timing, no pickling constraints) or concurrently in worker
+processes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.problem import CoSchedulingProblem
+from ..solvers.base import Solver, SolveResult
+
+__all__ = ["PortfolioSolver"]
+
+
+def _run_member(args: Tuple[Solver, CoSchedulingProblem]) -> SolveResult:
+    solver, problem = args
+    return solver.solve(problem)
+
+
+class PortfolioSolver(Solver):
+    """Run every member solver on the problem; return the best schedule.
+
+    Parameters
+    ----------
+    members:
+        The solvers to race.  Each sees its own cache state (the problem is
+        shared in-process; with ``workers > 1`` each worker gets a pickled
+        copy).
+    workers:
+        1 (default) runs sequentially; more uses a process pool.  Process
+        workers require the problem (and its degradation model) to be
+        picklable, which every model in :mod:`repro.core.degradation` is.
+    """
+
+    def __init__(self, members: Sequence[Solver], workers: int = 1,
+                 name: Optional[str] = None):
+        if not members:
+            raise ValueError("portfolio needs at least one member")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.members = list(members)
+        self.workers = workers
+        self.name = name or f"portfolio[{len(self.members)}]"
+
+    def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        results: List[SolveResult] = []
+        if self.workers == 1:
+            for solver in self.members:
+                problem.clear_caches()
+                results.append(solver.solve(problem))
+        else:
+            with cf.ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(_run_member, (solver, problem))
+                    for solver in self.members
+                ]
+                for fut in futures:
+                    results.append(fut.result())
+        best = min(results, key=lambda r: r.objective)
+        return SolveResult(
+            solver=self.name,
+            schedule=best.schedule,
+            objective=best.objective,
+            time_seconds=0.0,
+            optimal=best.optimal,
+            stats={
+                "winner": best.solver,
+                "member_objectives": {r.solver: r.objective for r in results},
+                "member_times": {r.solver: r.time_seconds for r in results},
+            },
+        )

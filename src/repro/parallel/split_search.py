@@ -1,0 +1,156 @@
+"""Root-split parallel exact search (the paper's future work, Section VII).
+
+The co-scheduling graph's first level fixes which processes share a machine
+with process 0; the subtrees below distinct level-0 nodes are disjoint
+subproblems over the remaining n-u processes.  Splitting the root therefore
+parallelizes OA* *exactly*:
+
+* enumerate the level-0 nodes ``T0``;
+* for each, build the reduced problem over ``P ∖ T0`` (degradations are
+  unchanged — they never depend on processes on other machines) and solve it
+  with OA* in a worker process;
+* the global optimum is ``min over T0 of [cost(T0) + opt(P ∖ T0)]``.
+
+Workers share nothing, so speedup is limited only by load imbalance and the
+(real) cost of pickling the problem per task; ``chunk`` level-0 nodes are
+batched per task to amortize it.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.degradation import CacheDegradationModel
+from ..core.jobs import JobKind, Workload, serial_job
+from ..core.machine import ClusterSpec
+from ..core.problem import CoSchedulingProblem
+from ..core.schedule import CoSchedule
+from ..solvers.base import Solver, SolveResult
+from ..solvers.oastar import OAStar
+
+__all__ = ["SplitOAStar"]
+
+
+class _RestrictedModel(CacheDegradationModel):
+    """View of a degradation model over a subset of the original pids.
+
+    The reduced subproblem relabels the surviving pids densely; this adapter
+    maps them back so degradations (and floors) are evaluated against the
+    original model.
+    """
+
+    def __init__(self, base: CacheDegradationModel, pid_map: Tuple[int, ...]):
+        self.base = base
+        self.pid_map = pid_map  # reduced pid -> original pid
+
+    def cache_degradation(self, pid, coset):
+        orig = frozenset(self.pid_map[q] for q in coset)
+        return self.base.cache_degradation(self.pid_map[pid], orig)
+
+    def single_time(self, pid):
+        return self.base.single_time(self.pid_map[pid])
+
+    def min_degradation(self, pid, universe, k):
+        orig_universe = [self.pid_map[q] for q in universe]
+        return self.base.min_degradation(self.pid_map[pid], orig_universe, k)
+
+    def is_member_monotone(self):
+        return self.base.is_member_monotone()
+
+    def pressure(self, pid):
+        return self.base.pressure(self.pid_map[pid])
+
+    def interchangeable_key(self, pid):
+        return self.base.interchangeable_key(self.pid_map[pid])
+
+
+def _solve_chunk(args) -> Tuple[float, Optional[List[Tuple[int, ...]]]]:
+    """Worker: solve the reduced problems for a batch of level-0 nodes."""
+    (workload, cluster, model, roots, root_costs) = args
+    best_obj = math.inf
+    best_groups: Optional[List[Tuple[int, ...]]] = None
+    n = workload.n
+    for root, root_cost in zip(roots, root_costs):
+        remaining = tuple(p for p in range(n) if p not in root)
+        if remaining:
+            sub_jobs = [
+                serial_job(i, f"r{orig}") for i, orig in enumerate(remaining)
+            ]
+            sub_wl = Workload(sub_jobs, cores_per_machine=cluster.cores)
+            sub_model = _RestrictedModel(model, remaining)
+            sub_problem = CoSchedulingProblem(sub_wl, cluster, sub_model)
+            sub = OAStar().solve(sub_problem)
+            total = root_cost + sub.objective
+            groups = [root] + [
+                tuple(remaining[q] for q in grp)
+                for grp in sub.schedule.groups
+            ]
+        else:
+            total = root_cost
+            groups = [root]
+        if total < best_obj:
+            best_obj = total
+            best_groups = groups
+    return best_obj, best_groups
+
+
+class SplitOAStar(Solver):
+    """Exact parallel OA* via root-level splitting.
+
+    Limitations: serial workloads only (a parallel job spanning the root
+    node and the remainder couples the subproblems through its max — the
+    sequential OA* handles that case).  Raises on parallel jobs.
+    """
+
+    def __init__(self, workers: int = 2, chunk: Optional[int] = None,
+                 name: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.chunk = chunk
+        self.name = name or f"OA*(split x{workers})"
+
+    def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        wl = problem.workload
+        if any(wl.kind_of(pid) is not JobKind.SERIAL for pid in range(wl.n)):
+            raise ValueError("SplitOAStar handles serial workloads only")
+        if problem.comm is not None or problem.node_extra_cost is not None:
+            raise ValueError("SplitOAStar does not support comm/extra costs")
+        n, u = problem.n, problem.u
+        roots = [
+            (0,) + combo for combo in itertools.combinations(range(1, n), u - 1)
+        ]
+        root_costs = [problem.node_weight(r) for r in roots]
+
+        chunk = self.chunk or max(1, math.ceil(len(roots) / (self.workers * 4)))
+        tasks = []
+        for i in range(0, len(roots), chunk):
+            tasks.append((
+                wl, problem.cluster, problem.model,
+                roots[i : i + chunk], root_costs[i : i + chunk],
+            ))
+
+        best_obj = math.inf
+        best_groups: Optional[List[Tuple[int, ...]]] = None
+        if self.workers == 1:
+            outcomes = [_solve_chunk(t) for t in tasks]
+        else:
+            with cf.ProcessPoolExecutor(max_workers=self.workers) as pool:
+                outcomes = list(pool.map(_solve_chunk, tasks))
+        for obj, groups in outcomes:
+            if groups is not None and obj < best_obj:
+                best_obj = obj
+                best_groups = groups
+        assert best_groups is not None
+        schedule = CoSchedule.from_groups(best_groups, u=u, n=n)
+        return SolveResult(
+            solver=self.name,
+            schedule=schedule,
+            objective=best_obj,
+            time_seconds=0.0,
+            optimal=True,
+            stats={"roots": len(roots), "chunks": len(tasks)},
+        )

@@ -1,0 +1,30 @@
+"""Online co-scheduling simulation: the systems the offline optimum targets."""
+
+from .batch import compare_schedules, simulate_schedule
+from .engine import (
+    MachineState,
+    OnlineJob,
+    SimulationResult,
+    default_degradation,
+    simulate,
+)
+from .policies import (
+    FirstFitPlacement,
+    LeastLoadedPlacement,
+    LeastPressurePlacement,
+    MinDegradationPlacement,
+)
+
+__all__ = [
+    "compare_schedules",
+    "simulate_schedule",
+    "MachineState",
+    "OnlineJob",
+    "SimulationResult",
+    "default_degradation",
+    "simulate",
+    "FirstFitPlacement",
+    "LeastLoadedPlacement",
+    "LeastPressurePlacement",
+    "MinDegradationPlacement",
+]

@@ -1,0 +1,83 @@
+"""Online placement policies.
+
+Each policy answers one question — *which machine should the newly arrived
+job run on* — using only currently observable state, the regime the paper's
+offline optimum is meant to benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .engine import MachineState, OnlineJob
+
+__all__ = [
+    "FirstFitPlacement",
+    "LeastLoadedPlacement",
+    "LeastPressurePlacement",
+    "MinDegradationPlacement",
+]
+
+
+def _free(machines: Sequence[MachineState]) -> List[MachineState]:
+    out = [m for m in machines if m.free_cores > 0]
+    if not out:
+        raise ValueError("no machine with a free core")
+    return out
+
+
+class FirstFitPlacement:
+    """Contention-oblivious: the first machine with a free core."""
+
+    name = "first-fit"
+
+    def place(self, job: OnlineJob, machines: Sequence[MachineState]) -> int:
+        return _free(machines)[0].index
+
+
+class LeastLoadedPlacement:
+    """Classic load balancing: the machine with the most free cores."""
+
+    name = "least-loaded"
+
+    def place(self, job: OnlineJob, machines: Sequence[MachineState]) -> int:
+        return max(_free(machines), key=lambda m: (m.free_cores, -m.index)).index
+
+
+class LeastPressurePlacement:
+    """Contention-aware: the machine whose occupants exert the least total
+    cache pressure (spreads heavy jobs apart — the core idea of the
+    contention-aware co-schedulers the paper surveys)."""
+
+    name = "least-pressure"
+
+    def place(self, job: OnlineJob, machines: Sequence[MachineState]) -> int:
+        def pressure(m: MachineState) -> float:
+            return sum(j.pressure for j in m.running)
+
+        return min(_free(machines), key=lambda m: (pressure(m), m.index)).index
+
+
+class MinDegradationPlacement:
+    """Greedy marginal-cost placement: choose the machine minimizing the
+    total *added* degradation — what the arriving job suffers there plus
+    what it inflicts on the occupants.  The online analogue of the paper's
+    node-weight greedy."""
+
+    name = "min-degradation"
+
+    def __init__(self, degradation) -> None:
+        self.degradation = degradation
+
+    def place(self, job: OnlineJob, machines: Sequence[MachineState]) -> int:
+        def added_cost(m: MachineState) -> float:
+            suffered = self.degradation(job, m.running)
+            inflicted = 0.0
+            for occ in m.running:
+                coset_before = [o for o in m.running if o is not occ]
+                before = self.degradation(occ, coset_before)
+                after = self.degradation(occ, coset_before + [job])
+                inflicted += after - before
+            return suffered + inflicted
+
+        return min(_free(machines), key=lambda m: (added_cost(m), m.index)).index

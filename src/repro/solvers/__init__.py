@@ -1,0 +1,36 @@
+"""Solvers: exact (OA*, O-SVP, IP backends, brute force) and heuristic (HA*, PG)."""
+
+from .astar_core import AStarSearch
+from .base import SolveResult, Solver
+from .brute_force import BruteForce, count_partitions
+from .greedy import PolitenessGreedy, RandomScheduler, SequentialScheduler
+from .hastar import HAStar
+from .ip_branch_bound import BranchBoundIP
+from .ip_model import IPFormulation, build_formulation
+from .ip_scipy import ScipyMILP
+from .local_search import SimulatedAnnealing, SwapHillClimber
+from .oastar import OAStar
+from .osvp import OSVP
+from .simplex import LPResult, simplex_solve
+
+__all__ = [
+    "AStarSearch",
+    "SolveResult",
+    "Solver",
+    "BruteForce",
+    "count_partitions",
+    "PolitenessGreedy",
+    "RandomScheduler",
+    "SequentialScheduler",
+    "HAStar",
+    "BranchBoundIP",
+    "IPFormulation",
+    "build_formulation",
+    "ScipyMILP",
+    "SimulatedAnnealing",
+    "SwapHillClimber",
+    "OAStar",
+    "OSVP",
+    "LPResult",
+    "simplex_solve",
+]

@@ -1,0 +1,65 @@
+"""Solver interface and result container."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.objective import ScheduleEvaluation, evaluate_schedule
+from ..core.problem import CoSchedulingProblem
+from ..core.schedule import CoSchedule
+
+__all__ = ["SolveResult", "Solver"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver run.
+
+    ``objective`` is the total degradation (Eq. 6/13) of ``schedule``;
+    ``stats`` carries solver-specific counters (``visited_paths`` — the
+    paper's Table IV metric, ``expanded``, ``dismissed`` …).
+    """
+
+    solver: str
+    schedule: Optional[CoSchedule]
+    objective: float
+    time_seconds: float
+    evaluation: Optional[ScheduleEvaluation] = None
+    optimal: bool = False
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.solver}: objective={self.objective:.6f} "
+            f"time={self.time_seconds:.4f}s stats={self.stats}"
+        )
+
+
+class Solver(abc.ABC):
+    """Base class: times the run and cross-checks the returned objective."""
+
+    name: str = "solver"
+
+    @abc.abstractmethod
+    def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        """Produce a result; ``time_seconds`` is filled in by :meth:`solve`."""
+
+    def solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        t0 = time.perf_counter()
+        result = self._solve(problem)
+        result.time_seconds = time.perf_counter() - t0
+        if result.schedule is not None:
+            result.evaluation = evaluate_schedule(problem, result.schedule)
+            # The solver's internal bookkeeping must agree with the
+            # ground-truth evaluator; a mismatch is a solver bug.
+            if abs(result.evaluation.objective - result.objective) > 1e-6 * (
+                1.0 + abs(result.objective)
+            ):
+                raise AssertionError(
+                    f"{self.name}: internal objective {result.objective} != "
+                    f"evaluated {result.evaluation.objective}"
+                )
+        return result

@@ -1,0 +1,105 @@
+"""Exhaustive search over all co-schedules — ground truth for tests.
+
+Enumerates every partition of the n processes into n/u unordered groups of
+size u (each recursion step places the smallest unplaced pid, which
+canonicalizes group order) and returns the minimum-objective schedule.
+Only viable for tiny n — it is the oracle the fast solvers are validated
+against, not a practical scheduler.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..core.jobs import JobKind
+from ..core.problem import CoSchedulingProblem
+from ..core.schedule import CoSchedule
+from .base import SolveResult, Solver
+
+__all__ = ["BruteForce", "count_partitions"]
+
+
+def count_partitions(n: int, u: int) -> int:
+    """Number of partitions of n items into n/u unordered u-sets:
+    ``n! / ((u!)^(n/u) * (n/u)!)``."""
+    if n % u != 0:
+        raise ValueError("n must divide by u")
+    m = n // u
+    return math.factorial(n) // (math.factorial(u) ** m * math.factorial(m))
+
+
+class BruteForce(Solver):
+    """Exact enumeration; refuses instances with too many partitions."""
+
+    name = "brute-force"
+
+    def __init__(self, max_partitions: int = 2_000_000):
+        self.max_partitions = max_partitions
+
+    def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        n, u = problem.n, problem.u
+        total = count_partitions(n, u)
+        if total > self.max_partitions:
+            raise ValueError(
+                f"{total} partitions exceeds limit {self.max_partitions}"
+            )
+        wl = problem.workload
+        kinds = [wl.kind_of(pid) for pid in range(n)]
+        job_ids = [
+            -1 if wl.job_of(pid) is None else wl.job_of(pid).job_id
+            for pid in range(n)
+        ]
+
+        best_obj = math.inf
+        best_groups: Optional[List[Tuple[int, ...]]] = None
+        examined = 0
+
+        groups: List[Tuple[int, ...]] = []
+
+        def objective_of_groups() -> float:
+            serial = 0.0
+            par: Dict[int, float] = {}
+            for grp in groups:
+                members = frozenset(grp)
+                serial += problem.extra_cost(grp)
+                for pid in grp:
+                    if wl.is_imaginary(pid):
+                        continue
+                    d = problem.degradation(pid, members - {pid})
+                    if kinds[pid] is JobKind.SERIAL:
+                        serial += d
+                    else:
+                        jid = job_ids[pid]
+                        if d > par.get(jid, -1.0):
+                            par[jid] = d
+            return serial + sum(par.values())
+
+        def rec(unplaced: Tuple[int, ...]) -> None:
+            nonlocal best_obj, best_groups, examined
+            if not unplaced:
+                examined += 1
+                obj = objective_of_groups()
+                if obj < best_obj:
+                    best_obj = obj
+                    best_groups = list(groups)
+                return
+            head, rest = unplaced[0], unplaced[1:]
+            for combo in itertools.combinations(rest, u - 1):
+                groups.append((head,) + combo)
+                remaining = tuple(p for p in rest if p not in combo)
+                rec(remaining)
+                groups.pop()
+
+        rec(tuple(range(n)))
+        assert best_groups is not None
+        schedule = CoSchedule.from_groups(best_groups, u=u, n=n)
+        return SolveResult(
+            solver=self.name,
+            schedule=schedule,
+            objective=best_obj,
+            time_seconds=0.0,
+            optimal=True,
+            stats={"partitions_examined": examined},
+        )

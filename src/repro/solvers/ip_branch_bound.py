@@ -1,0 +1,251 @@
+"""From-scratch LP-based branch-and-bound for the set-partitioning MILP.
+
+Plays the open-source-solver role (CBC/SCIP/GLPK) in the paper's Table III:
+a correct but unsophisticated branch-and-bound — LP relaxation bounds from
+the in-repo simplex (:mod:`repro.solvers.simplex`), most-fractional
+branching, depth-first diving with an initial incumbent from the PG greedy.
+No presolve, no cutting planes, no warm starts; being orders of magnitude
+slower than both HiGHS and OA* is the expected (and reproduced) behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.jobs import JobKind
+from ..core.problem import CoSchedulingProblem
+from ..core.schedule import CoSchedule
+from .base import SolveResult, Solver
+from .greedy import PolitenessGreedy
+from .ip_model import build_formulation
+from .simplex import simplex_solve
+
+__all__ = ["BranchBoundIP"]
+
+
+class BranchBoundIP(Solver):
+    """Branch-and-bound over subset-selection variables.
+
+    Parameters
+    ----------
+    lp_backend:
+        ``"simplex"`` — the in-repo tableau simplex (fully from scratch);
+        ``"highs"`` — scipy's LP for cross-checking the homemade bounds.
+    max_nodes / time_limit:
+        Safety valves; exceeding them raises ``RuntimeError`` (a truthful
+        "solver gave up", like SCIP's 1000-second bailout in Table III).
+    """
+
+    def __init__(
+        self,
+        lp_backend: str = "simplex",
+        max_nodes: int = 200_000,
+        time_limit: Optional[float] = None,
+        name: Optional[str] = None,
+    ):
+        if lp_backend not in ("simplex", "highs"):
+            raise ValueError("lp_backend must be 'simplex' or 'highs'")
+        self.lp_backend = lp_backend
+        self.max_nodes = max_nodes
+        self.time_limit = time_limit
+        self.name = name or f"IP(bb-{lp_backend})"
+
+    # ------------------------------------------------------------------ #
+
+    def _lp(self, c, A_eq, b_eq, A_ub, b_ub):
+        if self.lp_backend == "simplex":
+            return simplex_solve(c, A_eq, b_eq, A_ub, b_ub)
+        from scipy.optimize import linprog
+
+        constraints = {}
+        res = linprog(
+            c,
+            A_eq=A_eq if A_eq is not None and len(A_eq) else None,
+            b_eq=b_eq if b_eq is not None and len(b_eq) else None,
+            A_ub=A_ub if A_ub is not None and len(A_ub) else None,
+            b_ub=b_ub if b_ub is not None and len(b_ub) else None,
+            bounds=(0, None),
+            method="highs",
+        )
+
+        class _R:  # minimal LPResult shim
+            pass
+
+        out = _R()
+        out.status = "optimal" if res.status == 0 else (
+            "infeasible" if res.status == 2 else "unbounded"
+        )
+        out.x = res.x
+        out.objective = float(res.fun) if res.status == 0 else math.inf
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        form = build_formulation(problem)
+        n, u = problem.n, problem.u
+        wl = problem.workload
+        kinds = [wl.kind_of(pid) for pid in range(n)]
+        job_ids = [
+            -1 if wl.job_of(pid) is None else wl.job_of(pid).job_id
+            for pid in range(n)
+        ]
+        par_jobs = form.par_jobs
+        par_index = {jid: k for k, jid in enumerate(par_jobs)}
+        subsets = form.subsets
+        n_sub = len(subsets)
+        cost_x = form.cost[:n_sub]
+        members_of = [frozenset(t) for t in subsets]
+        # Per subset: list of (parallel pid, its degradation in this subset).
+        par_d: List[List[Tuple[int, float]]] = []
+        for k, T in enumerate(subsets):
+            mem = members_of[k]
+            entries = []
+            for pid in T:
+                if kinds[pid] is not JobKind.SERIAL and not wl.is_imaginary(pid):
+                    entries.append((pid, problem.degradation(pid, mem - {pid})))
+            par_d.append(entries)
+        cols_with = [[] for _ in range(n)]
+        for k, T in enumerate(subsets):
+            for pid in T:
+                cols_with[pid].append(k)
+
+        # Initial incumbent: PG greedy.
+        pg = PolitenessGreedy().solve(problem)
+        incumbent_obj = pg.objective
+        incumbent_sched = pg.schedule
+
+        t0 = time.perf_counter()
+        nodes_explored = 0
+        lp_solves = 0
+
+        # DFS stack of (included frozenset, excluded frozenset-as-set).
+        stack: List[Tuple[FrozenSet[int], Set[int]]] = [(frozenset(), set())]
+
+        while stack:
+            included, excluded = stack.pop()
+            nodes_explored += 1
+            if nodes_explored > self.max_nodes:
+                raise RuntimeError(f"{self.name}: exceeded {self.max_nodes} nodes")
+            if self.time_limit is not None and (
+                time.perf_counter() - t0 > self.time_limit
+            ):
+                raise RuntimeError(f"{self.name}: time limit exceeded")
+
+            covered: Set[int] = set()
+            for k in included:
+                covered |= members_of[k]
+            base: Dict[int, float] = {jid: 0.0 for jid in par_jobs}
+            fixed_serial = 0.0
+            for k in included:
+                fixed_serial += cost_x[k]
+                for pid, d in par_d[k]:
+                    jid = job_ids[pid]
+                    base[jid] = max(base[jid], d)
+            constant = fixed_serial + sum(base.values())
+
+            active = [
+                k for k in range(n_sub)
+                if k not in excluded
+                and not included.issuperset((k,))
+                and covered.isdisjoint(members_of[k])
+            ]
+            uncovered = [pid for pid in range(n) if pid not in covered]
+            if not uncovered:
+                if constant < incumbent_obj - 1e-12:
+                    incumbent_obj = constant
+                    incumbent_sched = CoSchedule.from_groups(
+                        [subsets[k] for k in included], u=u, n=n
+                    )
+                continue
+            # Quick feasibility: every uncovered pid needs an active column.
+            active_set = set(active)
+            if any(
+                not any(k in active_set for k in cols_with[pid])
+                for pid in uncovered
+            ):
+                continue
+
+            # Build the reduced LP.
+            col_of = {k: j for j, k in enumerate(active)}
+            row_of = {pid: i for i, pid in enumerate(uncovered)}
+            uncov_par = [
+                pid for pid in uncovered
+                if kinds[pid] is not JobKind.SERIAL and not wl.is_imaginary(pid)
+            ]
+            live_jobs = sorted({job_ids[pid] for pid in uncov_par})
+            y_of = {jid: len(active) + j for j, jid in enumerate(live_jobs)}
+            nv = len(active) + len(live_jobs)
+
+            A_eq = np.zeros((len(uncovered), nv))
+            b_eq = np.ones(len(uncovered))
+            A_ub = np.zeros((len(uncov_par), nv))
+            b_ub = np.array([base[job_ids[pid]] for pid in uncov_par])
+            ub_row = {pid: i for i, pid in enumerate(uncov_par)}
+            c = np.zeros(nv)
+            for j, k in enumerate(active):
+                c[j] = cost_x[k]
+                for pid in subsets[k]:
+                    A_eq[row_of[pid], j] = 1.0
+                for pid, d in par_d[k]:
+                    A_ub[ub_row[pid], j] = d
+            for jid in live_jobs:
+                c[y_of[jid]] = 1.0
+                for pid in uncov_par:
+                    if job_ids[pid] == jid:
+                        A_ub[ub_row[pid], y_of[jid]] = -1.0
+
+            lp = self._lp(
+                c, A_eq, b_eq,
+                A_ub if len(uncov_par) else None,
+                b_ub if len(uncov_par) else None,
+            )
+            lp_solves += 1
+            if lp.status != "optimal":
+                continue  # infeasible subtree
+            bound = lp.objective + constant
+            if bound >= incumbent_obj - 1e-9:
+                continue
+
+            x = lp.x[: len(active)]
+            frac = np.abs(x - np.round(x))
+            if frac.max() <= 1e-6:
+                # Integral: decode and accept.
+                chosen = frozenset(
+                    active[j] for j in range(len(active)) if x[j] > 0.5
+                ) | included
+                total_cols = sum(len(members_of[k]) for k in chosen)
+                if total_cols == n and bound < incumbent_obj - 1e-12:
+                    incumbent_obj = bound
+                    incumbent_sched = CoSchedule.from_groups(
+                        [subsets[k] for k in chosen], u=u, n=n
+                    )
+                continue
+
+            branch_j = int(np.argmax(frac))
+            branch_k = active[branch_j]
+            # Exclude-child first on the stack so the include-child (dive
+            # toward integer solutions) pops first.
+            stack.append((included, excluded | {branch_k}))
+            stack.append((included | {branch_k}, set(excluded)))
+
+        assert incumbent_sched is not None
+        from ..core.objective import evaluate_schedule
+
+        ev = evaluate_schedule(problem, incumbent_sched)
+        return SolveResult(
+            solver=self.name,
+            schedule=incumbent_sched,
+            objective=ev.objective,
+            time_seconds=0.0,
+            optimal=True,
+            stats={
+                "bb_nodes": nodes_explored,
+                "lp_solves": lp_solves,
+                "n_subsets": n_sub,
+            },
+        )

@@ -1,0 +1,156 @@
+"""Local-search heuristics: swap-based hill climbing and simulated annealing.
+
+The co-scheduling literature's other big heuristic family (besides greedy
+scoring à la PG and trimmed search à la HA*): start from some schedule and
+exchange process pairs across machines while it helps.  The neighbourhood is
+all single swaps — moves preserve the exactly-u-per-machine shape by
+construction.
+
+Included both as practical solvers and as comparison points: hill climbing
+gets stuck in swap-local optima; annealing escapes some of them at the cost
+of evaluations; both bracket where HA* lands (see the ablation bench).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from ..core.objective import evaluate_schedule
+from ..core.problem import CoSchedulingProblem
+from ..core.schedule import CoSchedule
+from .base import Solver, SolveResult
+from .greedy import PolitenessGreedy
+
+__all__ = ["SwapHillClimber", "SimulatedAnnealing"]
+
+
+def _objective_of_groups(problem: CoSchedulingProblem,
+                         groups: List[List[int]]) -> float:
+    sched = CoSchedule.from_groups(groups, u=problem.u, n=problem.n)
+    return evaluate_schedule(problem, sched).objective
+
+
+class SwapHillClimber(Solver):
+    """Steepest-descent pairwise swaps until no swap improves.
+
+    ``start`` picks the initial schedule: ``"greedy"`` (PG, default) or
+    ``"sequential"``.  Each pass evaluates every cross-machine swap;
+    termination is a swap-local optimum.
+    """
+
+    def __init__(self, start: str = "greedy", max_passes: int = 50,
+                 name: Optional[str] = None):
+        if start not in ("greedy", "sequential"):
+            raise ValueError("start must be 'greedy' or 'sequential'")
+        self.start = start
+        self.max_passes = max_passes
+        self.name = name or f"hill-climb({start})"
+
+    def _initial(self, problem: CoSchedulingProblem) -> List[List[int]]:
+        if self.start == "greedy":
+            result = PolitenessGreedy().solve(problem)
+            return [list(g) for g in result.schedule.groups]
+        n, u = problem.n, problem.u
+        return [list(range(k * u, (k + 1) * u)) for k in range(n // u)]
+
+    def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        groups = self._initial(problem)
+        m, u = len(groups), problem.u
+        best = _objective_of_groups(problem, groups)
+        evaluations = 1
+        passes = 0
+        improved = True
+        while improved and passes < self.max_passes:
+            improved = False
+            passes += 1
+            for a in range(m):
+                for b in range(a + 1, m):
+                    for i in range(u):
+                        for j in range(u):
+                            groups[a][i], groups[b][j] = (
+                                groups[b][j], groups[a][i],
+                            )
+                            obj = _objective_of_groups(problem, groups)
+                            evaluations += 1
+                            if obj < best - 1e-12:
+                                best = obj
+                                improved = True
+                            else:
+                                groups[a][i], groups[b][j] = (
+                                    groups[b][j], groups[a][i],
+                                )
+        schedule = CoSchedule.from_groups(groups, u=u, n=problem.n)
+        return SolveResult(
+            solver=self.name,
+            schedule=schedule,
+            objective=best,
+            time_seconds=0.0,
+            stats={"passes": passes, "evaluations": evaluations},
+        )
+
+
+class SimulatedAnnealing(Solver):
+    """Metropolis swaps with a geometric cooling schedule.
+
+    Deterministic given ``seed``.  ``iterations`` proposal swaps are made;
+    temperature decays from ``t0`` (relative to the initial objective) by
+    ``cooling`` per step; the best schedule ever visited is returned.
+    """
+
+    def __init__(
+        self,
+        iterations: int = 5000,
+        t0: float = 0.1,
+        cooling: float = 0.999,
+        seed: int = 0,
+        start: str = "greedy",
+        name: Optional[str] = None,
+    ):
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0 < cooling <= 1:
+            raise ValueError("cooling must be in (0, 1]")
+        self.iterations = iterations
+        self.t0 = t0
+        self.cooling = cooling
+        self.seed = seed
+        self.start = start
+        self.name = name or "annealing"
+
+    def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        rng = random.Random(self.seed)
+        init = SwapHillClimber(start=self.start, max_passes=0)
+        groups = init._initial(problem)
+        m, u = len(groups), problem.u
+        current = _objective_of_groups(problem, groups)
+        best = current
+        best_groups = [list(g) for g in groups]
+        temp = max(1e-9, self.t0 * max(current, 1e-9))
+        accepted = 0
+        for _ in range(self.iterations):
+            if m < 2:
+                break
+            a, b = rng.sample(range(m), 2)
+            i, j = rng.randrange(u), rng.randrange(u)
+            groups[a][i], groups[b][j] = groups[b][j], groups[a][i]
+            obj = _objective_of_groups(problem, groups)
+            delta = obj - current
+            if delta <= 0 or rng.random() < math.exp(-delta / temp):
+                current = obj
+                accepted += 1
+                if obj < best - 1e-12:
+                    best = obj
+                    best_groups = [list(g) for g in groups]
+            else:
+                groups[a][i], groups[b][j] = groups[b][j], groups[a][i]
+            temp *= self.cooling
+        schedule = CoSchedule.from_groups(best_groups, u=u, n=problem.n)
+        return SolveResult(
+            solver=self.name,
+            schedule=schedule,
+            objective=best,
+            time_seconds=0.0,
+            stats={"iterations": self.iterations, "accepted": accepted},
+        )

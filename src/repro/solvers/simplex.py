@@ -1,0 +1,184 @@
+"""A from-scratch dense two-phase primal simplex.
+
+Stands in for the open-source LP engines (CBC/GLPK) the paper benchmarks:
+no external solver library is used — this is a textbook full-tableau
+implementation with Dantzig pricing and a Bland's-rule fallback for
+anti-cycling.  It is deliberately simple; its modest speed is part of the
+Table III reproduction story (the paper's point is that *even fast* IP
+solvers lose to OA*, and the slow ones lose badly).
+
+Solves::
+
+    min c'x   s.t.  A_eq x = b_eq,  A_ub x <= b_ub,  x >= 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LPResult", "simplex_solve"]
+
+_TOL = 1e-9
+
+
+@dataclass
+class LPResult:
+    status: str  # "optimal" | "infeasible" | "unbounded" | "iteration_limit"
+    x: Optional[np.ndarray]
+    objective: float
+    iterations: int = 0
+
+
+def _pivot(T: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    T[row] /= T[row, col]
+    piv_row = T[row]
+    for r in range(T.shape[0]):
+        if r != row and abs(T[r, col]) > 0:
+            T[r] -= T[r, col] * piv_row
+    basis[row] = col
+
+
+def _run(T: np.ndarray, basis: np.ndarray, n_cols: int, max_iter: int) -> str:
+    """Optimize the tableau in place; last row holds reduced costs."""
+    it = 0
+    bland_after = max(200, 5 * T.shape[0])
+    while True:
+        it += 1
+        if it > max_iter:
+            return "iteration_limit"
+        costs = T[-1, :n_cols]
+        if it <= bland_after:
+            col = int(np.argmin(costs))
+            if costs[col] >= -_TOL:
+                return "optimal"
+        else:  # Bland: first negative cost — finite termination guaranteed
+            neg = np.flatnonzero(costs < -_TOL)
+            if neg.size == 0:
+                return "optimal"
+            col = int(neg[0])
+        ratios = np.full(T.shape[0] - 1, np.inf)
+        column = T[:-1, col]
+        positive = column > _TOL
+        ratios[positive] = T[:-1, -1][positive] / column[positive]
+        row = int(np.argmin(ratios))
+        if not np.isfinite(ratios[row]):
+            return "unbounded"
+        _pivot(T, basis, row, col)
+
+
+def simplex_solve(
+    c: np.ndarray,
+    A_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[np.ndarray] = None,
+    A_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[np.ndarray] = None,
+    max_iter: int = 20_000,
+) -> LPResult:
+    """Two-phase simplex over dense arrays."""
+    c = np.asarray(c, dtype=float)
+    n = c.size
+    rows = []
+    rhs = []
+    slack_rows = []
+    if A_eq is not None:
+        A_eq = np.asarray(A_eq, dtype=float)
+        b_eq = np.asarray(b_eq, dtype=float)
+        for i in range(A_eq.shape[0]):
+            rows.append(A_eq[i])
+            rhs.append(b_eq[i])
+            slack_rows.append(-1)  # no slack
+    if A_ub is not None:
+        A_ub = np.asarray(A_ub, dtype=float)
+        b_ub = np.asarray(b_ub, dtype=float)
+        for i in range(A_ub.shape[0]):
+            rows.append(A_ub[i])
+            rhs.append(b_ub[i])
+            slack_rows.append(len(slack_rows))
+    m = len(rows)
+    if m == 0:
+        return LPResult(status="optimal", x=np.zeros(n), objective=0.0)
+
+    n_slack = sum(1 for s in slack_rows if s >= 0)
+    A = np.zeros((m, n + n_slack))
+    b = np.array(rhs, dtype=float)
+    si = 0
+    slack_col_of_row = [-1] * m
+    for i, row in enumerate(rows):
+        A[i, :n] = row
+        if slack_rows[i] >= 0:
+            A[i, n + si] = 1.0
+            slack_col_of_row[i] = n + si
+            si += 1
+    # Normalize to b >= 0 (flips slack signs where needed).
+    for i in range(m):
+        if b[i] < 0:
+            A[i] = -A[i]
+            b[i] = -b[i]
+
+    n_total = n + n_slack
+    # Phase 1: artificials on rows whose slack can't start basic (slack sign
+    # flipped or equality row).
+    art_rows = [
+        i for i in range(m)
+        if slack_col_of_row[i] < 0 or A[i, slack_col_of_row[i]] < 0
+    ]
+    n_art = len(art_rows)
+    T = np.zeros((m + 1, n_total + n_art + 1))
+    T[:m, :n_total] = A
+    T[:m, -1] = b
+    basis = np.empty(m, dtype=np.int64)
+    for k, i in enumerate(art_rows):
+        T[i, n_total + k] = 1.0
+        basis[i] = n_total + k
+    for i in range(m):
+        if i not in art_rows:
+            basis[i] = slack_col_of_row[i]
+
+    iterations = 0
+    if n_art > 0:
+        # Phase-1 objective: minimize the sum of artificials.
+        T[-1, n_total : n_total + n_art] = 1.0
+        for i in art_rows:
+            T[-1] -= T[i]  # price out the basic artificials
+        status = _run(T, basis, n_total + n_art, max_iter)
+        if status != "optimal":
+            return LPResult(status=status, x=None, objective=np.inf)
+        if T[-1, -1] < -1e-7:
+            return LPResult(status="infeasible", x=None, objective=np.inf)
+        # Drive any artificial still in the basis out (degenerate rows).
+        for i in range(m):
+            if basis[i] >= n_total:
+                pivot_col = -1
+                for j in range(n_total):
+                    if abs(T[i, j]) > 1e-8:
+                        pivot_col = j
+                        break
+                if pivot_col >= 0:
+                    _pivot(T, basis, i, pivot_col)
+                # else: the row is all zeros — redundant, leave it.
+
+    # Phase 2: install the real objective.
+    T[-1, :] = 0.0
+    T[-1, :n] = c
+    T[:, n_total : n_total + n_art] = 0.0  # forbid artificials
+    for i in range(m):
+        if basis[i] < n_total and abs(T[-1, basis[i]]) > 0:
+            T[-1] -= T[-1, basis[i]] * T[i]
+    status = _run(T, basis, n_total, max_iter)
+    if status != "optimal":
+        return LPResult(status=status, x=None, objective=np.inf)
+
+    x_full = np.zeros(n_total)
+    for i in range(m):
+        if basis[i] < n_total:
+            x_full[basis[i]] = T[i, -1]
+    x = x_full[:n]
+    return LPResult(
+        status="optimal",
+        x=x,
+        objective=float(c @ x),
+        iterations=iterations,
+    )

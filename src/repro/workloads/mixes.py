@@ -1,0 +1,171 @@
+"""The paper's specific experiment workload mixes (Section V).
+
+Each builder returns a ready-to-solve
+:class:`~repro.core.problem.CoSchedulingProblem` assembled from the program
+catalog, the requested machine type, and — when PC jobs are present — the
+communication model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..comm.model import CommunicationModel
+from ..comm.topology import square_ish_grid
+from ..core.degradation import SDCDegradationModel
+from ..core.jobs import Job, Workload, pc_job, pe_job, serial_job
+from ..core.machine import CLUSTERS, ClusterSpec
+from ..core.problem import CoSchedulingProblem
+from .catalog import CATALOG, MPI_HALO_BYTES, get_profile
+
+__all__ = [
+    "serial_mix",
+    "mixed_parallel_serial",
+    "pe_serial_mix",
+    "pc_serial_mix",
+    "fig10_apps",
+    "fig11_apps",
+    "build_problem",
+    "TABLE1_SETS",
+    "TABLE2_SETS",
+]
+
+# Table I job sets: NPB-SER + SPEC serial programs, sized 8/12/16.
+TABLE1_SETS: Dict[int, Tuple[str, ...]] = {
+    8: ("BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"),
+    12: ("BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA", "DC", "art", "ammp"),
+    16: (
+        "BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA", "DC",
+        "applu", "art", "ammp", "equake", "galgel", "vpr",
+    ),
+}
+
+# Table II combinations, verbatim from the paper: MG-Par and LU-Par (2-4
+# processes each) combined with serial programs for 8/12/16 total processes.
+TABLE2_SETS: Dict[int, Dict[str, object]] = {
+    8: {"parallel": (("MG-Par", 2), ("LU-Par", 2)),
+        "serial": ("applu", "art", "equake", "vpr")},
+    12: {"parallel": (("MG-Par", 3), ("LU-Par", 3)),
+         "serial": ("applu", "art", "ammp", "equake", "galgel", "vpr")},
+    16: {"parallel": (("MG-Par", 4), ("LU-Par", 4)),
+         "serial": ("BT", "IS", "applu", "art", "ammp", "equake", "galgel", "vpr")},
+}
+
+# Figs. 10/11 application lists.
+FIG10_APPS = ("BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA", "DC", "art", "ammp")
+FIG11_APPS = (
+    "BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA", "DC",
+    "applu", "art", "ammp", "equake", "galgel", "vpr",
+)
+
+
+def _cluster(cluster: ClusterSpec | str) -> ClusterSpec:
+    return CLUSTERS[cluster] if isinstance(cluster, str) else cluster
+
+
+def build_problem(
+    jobs: Sequence[Job],
+    cluster: ClusterSpec | str,
+    treat_pc_as_pe: bool = False,
+) -> CoSchedulingProblem:
+    """Assemble a problem from catalog-profiled jobs.
+
+    ``treat_pc_as_pe=True`` drops the communication model — the paper's
+    OA*-PE ablation, which schedules PC jobs while ignoring their
+    communications.
+    """
+    cl = _cluster(cluster)
+    wl = Workload(jobs, cores_per_machine=cl.cores)
+    model = SDCDegradationModel(wl, cl.machine, CATALOG)
+    has_pc = any(j.topology is not None for j in jobs)
+    comm = None
+    if has_pc and not treat_pc_as_pe:
+        comm = CommunicationModel(wl, cl.bandwidth_bytes_per_s)
+    return CoSchedulingProblem(wl, cl, model, comm)
+
+
+def serial_mix(names: Sequence[str], cluster: ClusterSpec | str = "quad",
+               ) -> CoSchedulingProblem:
+    """A batch of catalog serial programs (Table I, Figs. 10/11)."""
+    jobs = [serial_job(i, name) for i, name in enumerate(names)]
+    return build_problem(jobs, cluster)
+
+
+def mixed_parallel_serial(
+    n_procs: int, cluster: ClusterSpec | str = "quad",
+    treat_pc_as_pe: bool = False,
+) -> CoSchedulingProblem:
+    """Table II mixes: MG-Par + LU-Par + serial programs, 8/12/16 processes."""
+    spec = TABLE2_SETS[n_procs]
+    jobs: List[Job] = []
+    jid = 0
+    for name, nprocs in spec["parallel"]:  # type: ignore[union-attr]
+        topo = square_ish_grid(nprocs, halo_bytes=MPI_HALO_BYTES[name])
+        jobs.append(pc_job(jid, name, topology=topo))
+        jid += 1
+    for name in spec["serial"]:  # type: ignore[union-attr]
+        jobs.append(serial_job(jid, name))
+        jid += 1
+    return build_problem(jobs, cluster, treat_pc_as_pe=treat_pc_as_pe)
+
+
+def pe_serial_mix(
+    procs_per_job: int = 10,
+    pe_names: Sequence[str] = ("PI", "MMS", "RA", "MCM"),
+    serial_names: Sequence[str] = ("BT", "DC", "UA", "IS"),
+    cluster: ClusterSpec | str = "quad",
+) -> CoSchedulingProblem:
+    """Fig. 6 mix: PE programs (10 processes each) + NPB serial programs."""
+    jobs: List[Job] = []
+    jid = 0
+    for name in pe_names:
+        jobs.append(pe_job(jid, name, nprocs=procs_per_job))
+        jid += 1
+    for name in serial_names:
+        jobs.append(serial_job(jid, name))
+        jid += 1
+    return build_problem(jobs, cluster)
+
+
+def pc_serial_mix(
+    procs_per_job: int = 11,
+    pc_names: Sequence[str] = ("BT-Par", "LU-Par", "MG-Par", "CG-Par"),
+    serial_names: Sequence[str] = ("UA", "DC", "FT", "IS"),
+    cluster: ClusterSpec | str = "quad",
+    treat_pc_as_pe: bool = False,
+    halo_scale: float = 1.0,
+    scramble_seed: Optional[int] = None,
+) -> CoSchedulingProblem:
+    """Fig. 7 mix: NPB-MPI jobs + serial programs.
+
+    ``halo_scale`` multiplies the catalog halo volumes — scaled-down rank
+    counts shrink each rank's share of communication, so smaller
+    reproductions scale halos up to keep communication the same fraction
+    of runtime the paper's 11-rank jobs had.  ``scramble_seed`` randomizes
+    the rank-id ↔ grid-position mapping so that rank numbering carries no
+    adjacency information (see :meth:`Decomposition.scrambled`).
+    """
+    jobs: List[Job] = []
+    jid = 0
+    for name in pc_names:
+        topo = square_ish_grid(
+            procs_per_job, halo_bytes=MPI_HALO_BYTES[name] * halo_scale
+        )
+        if scramble_seed is not None:
+            topo = topo.scrambled(scramble_seed + jid)
+        jobs.append(pc_job(jid, name, topology=topo))
+        jid += 1
+    for name in serial_names:
+        jobs.append(serial_job(jid, name))
+        jid += 1
+    return build_problem(jobs, cluster, treat_pc_as_pe=treat_pc_as_pe)
+
+
+def fig10_apps(cluster: ClusterSpec | str = "quad") -> CoSchedulingProblem:
+    """The 12-application quad-core batch of Fig. 10."""
+    return serial_mix(FIG10_APPS, cluster)
+
+
+def fig11_apps(cluster: ClusterSpec | str = "eight") -> CoSchedulingProblem:
+    """The 16-application 8-core batch of Fig. 11."""
+    return serial_mix(FIG11_APPS, cluster)

@@ -1,0 +1,132 @@
+"""Tests for degradation-matrix calibration from simulated co-runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import (
+    TraceProgram,
+    measure_pairwise_matrix,
+    predict_pairwise_matrix,
+    prediction_error,
+)
+from repro.cache.trace import TraceSpec, generate_trace
+from repro.core.machine import CacheSpec, MachineSpec
+
+SMALL_MACHINE = MachineSpec(
+    name="test-2core",
+    cores=2,
+    shared_cache=CacheSpec(size_bytes=16 * 64 * 16, associativity=16),
+    clock_hz=1e9,
+    miss_penalty_cycles=100.0,
+)
+
+
+def program(name, seed, hot=0.7, heap=0.25, stream=0.05, heap_lines=512,
+            n=8000, cycles=50_000.0):
+    trace = generate_trace(TraceSpec(
+        n_accesses=n, hot_lines=32, heap_lines=heap_lines,
+        hot_fraction=hot, heap_fraction=heap, stream_fraction=stream,
+        seed=seed,
+    ))
+    return TraceProgram(name=name, trace=trace, cpu_cycles=cycles)
+
+
+def trio():
+    return [
+        program("tight", 1, hot=0.95, heap=0.05, stream=0.0, heap_lines=64),
+        program("mixed", 2, hot=0.6, heap=0.35, stream=0.05),
+        program("stream", 3, hot=0.2, heap=0.3, stream=0.5, heap_lines=2048),
+    ]
+
+
+class TestMeasurement:
+    def test_shape_and_nonnegative(self):
+        D = measure_pairwise_matrix(trio(), SMALL_MACHINE, n_sets=8)
+        assert D.shape == (3, 3)
+        assert (D >= 0).all()
+        assert (np.diag(D) == 0).all()
+
+    def test_streaming_corunner_hurts_more_than_tight(self):
+        progs = trio()
+        D = measure_pairwise_matrix(progs, SMALL_MACHINE, n_sets=8)
+        # 'mixed' (row 1) suffers more from 'stream' (col 2) than from
+        # 'tight' (col 0) — the streaming program floods the cache.
+        assert D[1, 2] > D[1, 0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            measure_pairwise_matrix([], SMALL_MACHINE)
+
+    def test_trace_program_validation(self):
+        with pytest.raises(ValueError):
+            TraceProgram("x", np.array([1]), cpu_cycles=0.0)
+        with pytest.raises(ValueError):
+            TraceProgram("x", np.array([], dtype=np.int64), cpu_cycles=1.0)
+
+
+class TestPredictionVsMeasurement:
+    def test_sdc_tracks_ordering_for_reusing_programs(self):
+        """For programs WITH cache reuse, the SDC prediction gets the
+        ordering of co-runner badness broadly right — what scheduling
+        quality depends on."""
+        progs = [
+            program("tight", 1, hot=0.95, heap=0.05, stream=0.0,
+                    heap_lines=64),
+            program("mid", 2, hot=0.75, heap=0.25, stream=0.0,
+                    heap_lines=256),
+            program("fat", 4, hot=0.4, heap=0.6, stream=0.0,
+                    heap_lines=1024),
+        ]
+        measured = measure_pairwise_matrix(progs, SMALL_MACHINE, n_sets=8)
+        predicted = predict_pairwise_matrix(progs, SMALL_MACHINE, n_sets=8)
+        err = prediction_error(measured, predicted)
+        # At toy trace scales the rank statistic over 6 entries is noisy;
+        # require non-negative correlation and same-scale magnitudes.
+        assert err["spearman_ordering"] >= 0.0
+        assert abs(err["mean_signed_error"]) < 0.3
+
+    def test_sdc_is_blind_to_streaming_pollution(self):
+        """Documented substrate finding: a streaming co-runner (no reuse,
+        so no hit counters to compete with) wins almost no SDC positions,
+        so the prediction says it is harmless — while the simulated LRU
+        cache shows it evicting the victim's lines on every insertion.
+        This is the classic SDC limitation; the paper's pipeline inherits
+        it (see EXPERIMENTS.md)."""
+        progs = trio()  # includes the 50%-streaming program (index 2)
+        measured = measure_pairwise_matrix(progs, SMALL_MACHINE, n_sets=8)
+        predicted = predict_pairwise_matrix(progs, SMALL_MACHINE, n_sets=8)
+        # Measured: streaming hurts the tight-reuse program badly.
+        assert measured[0, 2] > 2 * measured[2, 0]
+        # Predicted: SDC underestimates that damage by a large factor.
+        assert predicted[0, 2] < 0.5 * measured[0, 2]
+
+    def test_error_summary_fields(self):
+        a = np.array([[0.0, 1.0], [2.0, 0.0]])
+        b = np.array([[0.0, 1.5], [1.5, 0.0]])
+        err = prediction_error(a, b)
+        assert err["mean_abs_error"] == pytest.approx(0.5)
+        assert err["mean_signed_error"] == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            prediction_error(a, np.zeros((3, 3)))
+
+
+class TestEndToEndScheduling:
+    def test_measured_matrix_feeds_the_solvers(self):
+        """The calibrated matrix plugs straight into the scheduling stack."""
+        from repro.core.degradation import MatrixDegradationModel
+        from repro.core.jobs import Workload, serial_job
+        from repro.core.machine import ClusterSpec
+        from repro.core.problem import CoSchedulingProblem
+        from repro.solvers import BruteForce, OAStar
+
+        progs = trio() + [program("extra", 9)]
+        D = measure_pairwise_matrix(progs, SMALL_MACHINE, n_sets=8)
+        jobs = [serial_job(i, p.name) for i, p in enumerate(progs)]
+        wl = Workload(jobs, cores_per_machine=2)
+        problem = CoSchedulingProblem(
+            wl, ClusterSpec(machine=SMALL_MACHINE),
+            MatrixDegradationModel(pairwise=D),
+        )
+        oa = OAStar().solve(problem)
+        bf = BruteForce().solve(problem)
+        assert oa.objective == pytest.approx(bf.objective, abs=1e-9)

@@ -1,0 +1,88 @@
+"""Tests for MER (maximum effective rank) computation."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.mer import effective_ranks, mer_of_schedule
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, serial_job
+from repro.core.machine import DUAL_CORE_CLUSTER
+from repro.core.problem import CoSchedulingProblem
+from repro.core.schedule import CoSchedule
+from repro.solvers import OAStar
+from repro.workloads.synthetic import random_serial_instance
+
+
+def matrix_problem(D):
+    n = D.shape[0]
+    jobs = [serial_job(i, f"j{i}") for i in range(n)]
+    wl = Workload(jobs, cores_per_machine=2)
+    return CoSchedulingProblem(wl, DUAL_CORE_CLUSTER,
+                               MatrixDegradationModel(pairwise=D))
+
+
+def reference_effective_ranks(problem, schedule):
+    """Effective rank by brute definition: position among valid nodes of the
+    level sorted ascending by weight."""
+    u = problem.u
+    unscheduled = set(range(problem.n))
+    ranks = []
+    for node in schedule.groups:
+        level = node[0]
+        rest = sorted(unscheduled - {level})
+        valid = [(level,) + c for c in itertools.combinations(rest, u - 1)]
+        valid.sort(key=lambda nd: (problem.node_weight(nd), nd))
+        ranks.append(valid.index(tuple(sorted(node))) + 1)
+        unscheduled -= set(node)
+    return ranks
+
+
+class TestEffectiveRanks:
+    def test_matches_brute_definition(self):
+        rng = np.random.default_rng(0)
+        D = rng.uniform(0, 1, (8, 8))
+        np.fill_diagonal(D, 0.0)
+        problem = matrix_problem(D)
+        result = OAStar().solve(problem)
+        fast = effective_ranks(problem, result.schedule)
+        ref = reference_effective_ranks(problem, result.schedule)
+        # Ties in weight may reorder equal-weight nodes; ranks agree up to
+        # tie groups, so compare via weights at those ranks instead.
+        assert len(fast) == len(ref)
+        assert fast == ref  # random continuous weights: ties have prob. 0
+
+    def test_lazy_monotone_path_agrees_with_exact(self):
+        problem = random_serial_instance(12, cluster="quad", seed=4)
+        schedule = OAStar().solve(problem).schedule
+        lazy = effective_ranks(problem, schedule)
+        # Force the exact path by wrapping weights through node_weight.
+        ref = reference_effective_ranks(problem, schedule)
+        assert lazy == ref
+
+    def test_greedy_path_has_rank_one_everywhere(self):
+        """A schedule built by always taking the lightest valid node has
+        effective rank 1 at every level."""
+        problem = random_serial_instance(8, cluster="quad", seed=0)
+        unscheduled = set(range(8))
+        groups = []
+        while unscheduled:
+            level = min(unscheduled)
+            rest = sorted(unscheduled - {level})
+            best = min(
+                ((level,) + c for c in itertools.combinations(rest, 3)),
+                key=lambda nd: (problem.node_weight(nd), nd),
+            )
+            groups.append(best)
+            unscheduled -= set(best)
+        schedule = CoSchedule.from_groups(groups, u=4, n=8)
+        assert effective_ranks(problem, schedule) == [1, 1]
+        assert mer_of_schedule(problem, schedule) == 1
+
+    def test_mer_is_max(self):
+        problem = random_serial_instance(8, cluster="quad", seed=1)
+        schedule = OAStar().solve(problem).schedule
+        assert mer_of_schedule(problem, schedule) == max(
+            effective_ranks(problem, schedule)
+        )

@@ -1,0 +1,70 @@
+"""Tests for statistics helpers and ASCII rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.reporting import format_value, render_series, render_table
+from repro.analysis.stats import cdf_at, empirical_cdf, summarize
+
+
+class TestStats:
+    def test_empirical_cdf(self):
+        xs, fr = empirical_cdf([3, 1, 2])
+        assert xs.tolist() == [1, 2, 3]
+        assert fr.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_at(self):
+        samples = [1, 2, 3, 4]
+        assert cdf_at(samples, 2) == 0.5
+        assert cdf_at(samples, 0) == 0.0
+        assert cdf_at(samples, 10) == 1.0
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["mean"] == 2.5 and s["median"] == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+        with pytest.raises(ValueError):
+            cdf_at([], 1)
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1))
+    def test_property_cdf_monotone(self, samples):
+        xs, fr = empirical_cdf(samples)
+        assert (np.diff(fr) >= 0).all()
+        assert fr[-1] == pytest.approx(1.0)
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title_included(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_series(self):
+        out = render_series("n", [1, 2], {"t": [0.1, 0.2], "s": [3, 4]})
+        assert "n" in out and "t" in out and "s" in out
+        assert "0.1" in out and "4" in out
+
+    def test_format_value(self):
+        assert format_value(0.000123) == "0.000123"
+        assert format_value(float("nan")) == "-"
+        assert format_value(0.0) == "0"
+        assert format_value(123456.789) == "1.23e+05"
+        assert format_value("abc") == "abc"
+        assert format_value(True) == "True"
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out

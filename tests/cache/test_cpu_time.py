@@ -1,0 +1,64 @@
+"""Unit tests for the Eq. 1/14/15 arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.cpu_time import (
+    corun_degradation,
+    cpu_time,
+    degradation_from_misses,
+    memory_stall_cycles,
+)
+
+
+class TestEquations:
+    def test_eq15(self):
+        assert memory_stall_cycles(1000, 200) == 200_000
+
+    def test_eq14(self):
+        # (1e9 work + 1e6 * 100 stall) / 1 GHz = 1.1 s
+        assert cpu_time(1e9, 1e6, 100, 1e9) == pytest.approx(1.1)
+
+    def test_eq1(self):
+        assert corun_degradation(10.0, 12.5) == pytest.approx(0.25)
+
+    def test_eq1_clamps_noise(self):
+        assert corun_degradation(10.0, 9.999999) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_stall_cycles(-1, 10)
+        with pytest.raises(ValueError):
+            cpu_time(-1, 0, 0, 1e9)
+        with pytest.raises(ValueError):
+            cpu_time(1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            corun_degradation(0.0, 1.0)
+
+
+class TestDegradationFromMisses:
+    def test_clock_cancels(self):
+        """d computed from miss counts equals d computed from Eq. 14 times
+        at any clock rate."""
+        cycles, single_m, corun_m, penalty = 1e9, 1e6, 3e6, 150
+        d = degradation_from_misses(cycles, single_m, corun_m, penalty)
+        for clock in (1e9, 2.4e9, 3.4e9):
+            t1 = cpu_time(cycles, single_m, penalty, clock)
+            t2 = cpu_time(cycles, corun_m, penalty, clock)
+            assert d == pytest.approx(corun_degradation(t1, t2))
+
+    def test_zero_extra_misses(self):
+        assert degradation_from_misses(1e9, 1e6, 1e6, 100) == 0.0
+
+    def test_fewer_misses_clamped(self):
+        assert degradation_from_misses(1e9, 1e6, 0.5e6, 100) == 0.0
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e12),
+        st.floats(min_value=0, max_value=1e9),
+        st.floats(min_value=0, max_value=1e9),
+        st.floats(min_value=0, max_value=1e4),
+    )
+    def test_property_nonnegative(self, cycles, single_m, extra, penalty):
+        d = degradation_from_misses(cycles, single_m, single_m + extra, penalty)
+        assert d >= 0.0

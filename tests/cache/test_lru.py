@@ -1,0 +1,108 @@
+"""Unit tests for the LRU simulator and stack-distance measurement."""
+
+import numpy as np
+import pytest
+
+from repro.cache.lru import (
+    SetAssociativeLRU,
+    interleave_traces,
+    sdp_from_trace,
+    stack_distances,
+)
+
+
+class TestStackDistances:
+    def test_cold_misses(self):
+        assert stack_distances([1, 2, 3]).tolist() == [-1, -1, -1]
+
+    def test_immediate_reuse(self):
+        assert stack_distances([7, 7, 7]).tolist() == [-1, 1, 1]
+
+    def test_classic_example(self):
+        # a b c a : 'a' is 3rd most recent at its reuse.
+        assert stack_distances([0, 1, 2, 0]).tolist() == [-1, -1, -1, 3]
+
+    def test_move_to_front(self):
+        # a b a b : each reuse sees the other at depth 2.
+        assert stack_distances([0, 1, 0, 1]).tolist() == [-1, -1, 2, 2]
+
+
+class TestSdpFromTrace:
+    def test_counts_match_distances(self):
+        trace = [0, 1, 2, 0, 1, 2, 3, 3]
+        sdp = sdp_from_trace(trace, associativity=4)
+        # distances: -1 -1 -1 3 3 3 -1 1
+        assert sdp.counters == (1.0, 0.0, 3.0, 0.0)
+        assert sdp.misses == 4.0
+        assert sdp.accesses == len(trace)
+
+    def test_deep_reuse_counts_as_miss(self):
+        trace = [0, 1, 2, 0]
+        sdp = sdp_from_trace(trace, associativity=2)
+        assert sdp.misses == 4.0  # 3 cold + 1 beyond-depth
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            sdp_from_trace([0], associativity=0)
+
+
+class TestSetAssociativeLRU:
+    def test_hits_and_misses(self):
+        cache = SetAssociativeLRU(n_sets=1, associativity=2)
+        stats = cache.run([0, 1, 0, 2, 0, 1])
+        # 0m 1m 0h 2m(evict 1) 0h 1m
+        assert stats == {"hits": 2, "misses": 4}
+
+    def test_reset(self):
+        cache = SetAssociativeLRU(n_sets=2, associativity=2)
+        cache.run([0, 1, 2, 3])
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_set_mapping(self):
+        cache = SetAssociativeLRU(n_sets=2, associativity=1)
+        cache.run([0, 2, 0, 2])  # both map to set 0, thrash
+        assert cache.hits == 0
+        cache.reset()
+        cache.run([0, 1, 0, 1])  # different sets, all re-hits
+        assert cache.hits == 2
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeLRU(n_sets=0, associativity=2)
+
+    def test_fully_associative_agrees_with_stack_distance(self):
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 32, size=500)
+        assoc = 8
+        cache = SetAssociativeLRU(n_sets=1, associativity=assoc)
+        stats = cache.run(trace)
+        sdp = sdp_from_trace(trace, associativity=assoc)
+        assert stats["misses"] == int(sdp.misses)
+        assert stats["hits"] == int(sdp.hits)
+
+
+class TestInterleave:
+    def test_disjoint_address_spaces(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([1, 2], dtype=np.int64)
+        merged = interleave_traces([a, b])
+        assert len(merged) == 5
+        assert len({addr >> 48 for addr in merged}) == 2
+
+    def test_empty(self):
+        assert len(interleave_traces([])) == 0
+
+    def test_sharing_a_cache_inflates_misses(self):
+        """End-to-end substrate check: co-running through one shared cache
+        produces at least as many misses as the sum of solo runs."""
+        rng = np.random.default_rng(1)
+        t1 = rng.integers(0, 64, size=2000)
+        t2 = rng.integers(0, 64, size=2000)
+        solo = 0
+        for t in (t1, t2):
+            c = SetAssociativeLRU(n_sets=4, associativity=16)
+            solo += c.run(t)["misses"]
+        shared = SetAssociativeLRU(n_sets=4, associativity=16)
+        corun = shared.run(interleave_traces([t1, t2]))["misses"]
+        assert corun >= solo

@@ -1,0 +1,95 @@
+"""Unit tests for stack distance profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.sdp import StackDistanceProfile, geometric_sdp
+
+
+class TestStackDistanceProfile:
+    def test_basic_accounting(self):
+        sdp = StackDistanceProfile(counters=(10.0, 5.0, 1.0), misses=4.0)
+        assert sdp.hits == 16.0
+        assert sdp.accesses == 20.0
+        assert sdp.miss_rate == pytest.approx(0.2)
+        assert sdp.associativity == 3
+
+    def test_misses_with_fewer_ways(self):
+        sdp = StackDistanceProfile(counters=(10.0, 5.0, 1.0), misses=4.0)
+        assert sdp.misses_with_ways(3) == 4.0
+        assert sdp.misses_with_ways(2) == 5.0  # loses the depth-3 hits
+        assert sdp.misses_with_ways(0) == 20.0  # everything misses
+
+    def test_misses_with_ways_monotone_decreasing(self):
+        sdp = geometric_sdp(accesses=1e6, miss_rate=0.3, associativity=16)
+        vals = [sdp.misses_with_ways(w) for w in range(17)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StackDistanceProfile(counters=(-1.0,), misses=0.0)
+        with pytest.raises(ValueError):
+            StackDistanceProfile(counters=(1.0,), misses=-2.0)
+
+    def test_rescaled(self):
+        sdp = StackDistanceProfile(counters=(4.0, 2.0), misses=2.0)
+        half = sdp.rescaled(0.5)
+        assert half.counters == (2.0, 1.0)
+        assert half.misses == 1.0
+
+    def test_rebin_shrink_folds_into_misses(self):
+        sdp = StackDistanceProfile(counters=(4.0, 2.0, 1.0), misses=3.0)
+        small = sdp.with_associativity(2)
+        assert small.counters == (4.0, 2.0)
+        assert small.misses == 4.0
+        assert small.accesses == sdp.accesses
+
+    def test_rebin_grow_pads_zeros(self):
+        sdp = StackDistanceProfile(counters=(4.0,), misses=1.0)
+        big = sdp.with_associativity(3)
+        assert big.counters == (4.0, 0.0, 0.0)
+        assert big.accesses == sdp.accesses
+
+
+class TestGeometricSDP:
+    def test_target_miss_rate_hit(self):
+        sdp = geometric_sdp(accesses=1e6, miss_rate=0.4, associativity=16)
+        assert sdp.miss_rate == pytest.approx(0.4)
+        assert sdp.accesses == pytest.approx(1e6)
+
+    def test_decay_shape(self):
+        sdp = geometric_sdp(accesses=1e6, miss_rate=0.1, associativity=8,
+                            reuse_decay=0.5)
+        arr = sdp.as_array()
+        ratios = arr[1:] / arr[:-1]
+        assert np.allclose(ratios, 0.5)
+
+    def test_flat_profile_at_decay_one(self):
+        sdp = geometric_sdp(accesses=100.0, miss_rate=0.0, associativity=4,
+                            reuse_decay=1.0)
+        assert np.allclose(sdp.as_array(), 25.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sdp(accesses=-1, miss_rate=0.5, associativity=4)
+        with pytest.raises(ValueError):
+            geometric_sdp(accesses=1, miss_rate=1.5, associativity=4)
+        with pytest.raises(ValueError):
+            geometric_sdp(accesses=1, miss_rate=0.5, associativity=0)
+        with pytest.raises(ValueError):
+            geometric_sdp(accesses=1, miss_rate=0.5, associativity=4,
+                          reuse_decay=0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_property_conservation(self, miss_rate, decay, assoc):
+        sdp = geometric_sdp(accesses=1e5, miss_rate=miss_rate,
+                            associativity=assoc, reuse_decay=decay)
+        assert sdp.accesses == pytest.approx(1e5, rel=1e-9)
+        for w in range(assoc + 1):
+            total = sdp.misses_with_ways(w)
+            assert sdp.misses - 1e-6 <= total <= sdp.accesses + 1e-6

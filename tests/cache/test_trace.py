@@ -1,0 +1,61 @@
+"""Unit tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.cache.trace import TraceSpec, generate_trace
+
+
+class TestTraceSpec:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            TraceSpec(n_accesses=10, hot_fraction=0.5, heap_fraction=0.2,
+                      stream_fraction=0.2)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSpec(n_accesses=10, hot_fraction=-0.1, heap_fraction=1.0,
+                      stream_fraction=0.1)
+
+    def test_zipf_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            TraceSpec(n_accesses=10, zipf_s=1.0)
+
+
+class TestGenerateTrace:
+    def test_length_and_dtype(self):
+        t = generate_trace(TraceSpec(n_accesses=1000, seed=1))
+        assert len(t) == 1000
+        assert t.dtype == np.int64
+
+    def test_empty(self):
+        assert len(generate_trace(TraceSpec(n_accesses=0))) == 0
+
+    def test_deterministic_by_seed(self):
+        spec = TraceSpec(n_accesses=500, seed=42)
+        assert np.array_equal(generate_trace(spec), generate_trace(spec))
+        other = TraceSpec(n_accesses=500, seed=43)
+        assert not np.array_equal(generate_trace(spec), generate_trace(other))
+
+    def test_address_regions_disjoint(self):
+        spec = TraceSpec(n_accesses=5000, hot_lines=16, heap_lines=100, seed=0)
+        t = generate_trace(spec)
+        hot = t[t < 16]
+        heap = t[(t >= 16) & (t < 116)]
+        stream = t[t >= 116]
+        assert len(hot) + len(heap) + len(stream) == len(t)
+        # Stream addresses never repeat (pure cold misses).
+        assert len(np.unique(stream)) == len(stream)
+
+    def test_fraction_mix_roughly_respected(self):
+        spec = TraceSpec(n_accesses=20000, hot_fraction=0.7, heap_fraction=0.2,
+                         stream_fraction=0.1, hot_lines=8, seed=3)
+        t = generate_trace(spec)
+        hot_share = np.mean(t < 8)
+        assert 0.6 < hot_share < 0.8
+
+    def test_pure_streaming_never_reuses(self):
+        spec = TraceSpec(n_accesses=1000, hot_fraction=0.0, heap_fraction=0.0,
+                         stream_fraction=1.0, seed=0)
+        t = generate_trace(spec)
+        assert len(np.unique(t)) == len(t)

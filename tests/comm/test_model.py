@@ -1,0 +1,73 @@
+"""Unit tests for the Eq. 10-11 communication model."""
+
+import pytest
+
+from repro.comm.model import CommunicationModel
+from repro.comm.topology import grid_2d
+from repro.core.jobs import Workload, pc_job, serial_job
+
+
+def fig2_workload():
+    """The paper's Fig. 2: a 3x3 PC job delta1 (p1..p9) plus a serial p10."""
+    topo = grid_2d(3, 3, halo_bytes=1000.0)
+    jobs = [pc_job(0, "delta1", topology=topo), serial_job(1, "p10")]
+    return Workload(jobs, cores_per_machine=2)
+
+
+class TestCommTime:
+    def test_fig2_p5_with_p6_colocated(self):
+        """Fig. 2b: p5 (pid 4) co-runs with p6 (pid 5); its intra-machine
+        neighbour is free, leaving 3 external halos."""
+        wl = fig2_workload()
+        comm = CommunicationModel(wl, bandwidth_bytes_per_s=1000.0)
+        t = comm.comm_time(4, frozenset({5}))
+        assert t == pytest.approx(3 * 1000.0 / 1000.0)
+
+    def test_all_neighbours_external(self):
+        wl = fig2_workload()
+        comm = CommunicationModel(wl, bandwidth_bytes_per_s=1000.0)
+        # p5 with the serial job: all 4 neighbours external.
+        assert comm.comm_time(4, frozenset({9})) == pytest.approx(4.0)
+        assert comm.max_comm_time(4) == pytest.approx(4.0)
+
+    def test_corner_process(self):
+        wl = fig2_workload()
+        comm = CommunicationModel(wl, bandwidth_bytes_per_s=1000.0)
+        # p1 (pid 0) has 2 neighbours: p2 (pid 1), p4 (pid 3).
+        assert comm.comm_time(0, frozenset({1})) == pytest.approx(1.0)
+        assert comm.comm_time(0, frozenset({1, 3})) == 0.0
+
+    def test_serial_process_has_no_comm(self):
+        wl = fig2_workload()
+        comm = CommunicationModel(wl, bandwidth_bytes_per_s=1000.0)
+        assert not comm.is_communicating(9)
+        assert comm.comm_time(9, frozenset({0})) == 0.0
+
+    def test_neighbour_pids(self):
+        wl = fig2_workload()
+        comm = CommunicationModel(wl, bandwidth_bytes_per_s=1000.0)
+        assert sorted(comm.neighbour_pids(4)) == [1, 3, 5, 7]
+
+    def test_min_comm_time_floor(self):
+        wl = fig2_workload()
+        comm = CommunicationModel(wl, bandwidth_bytes_per_s=1000.0)
+        # p5: 4 neighbours; on a dual-core machine at most 1 co-located.
+        assert comm.min_comm_time(4, max_colocated=1) == pytest.approx(3.0)
+        assert comm.min_comm_time(4, max_colocated=4) == 0.0
+        with pytest.raises(ValueError):
+            comm.min_comm_time(4, max_colocated=-1)
+
+    def test_min_comm_is_a_true_floor(self):
+        wl = fig2_workload()
+        comm = CommunicationModel(wl, bandwidth_bytes_per_s=1000.0)
+        import itertools
+
+        floor = comm.min_comm_time(4, max_colocated=1)
+        for coset in itertools.combinations(set(range(10)) - {4}, 1):
+            assert comm.comm_time(4, frozenset(coset)) >= floor - 1e-12
+
+
+class TestValidation:
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            CommunicationModel(fig2_workload(), bandwidth_bytes_per_s=0)

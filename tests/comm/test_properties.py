@@ -1,0 +1,80 @@
+"""Unit tests for communication properties and condensation keys."""
+
+from repro.comm.properties import comm_property, node_condensation_key
+from repro.comm.topology import grid_2d
+from repro.core.jobs import Workload, pc_job, pe_job, serial_job
+
+
+def fig4_workload():
+    """Fig. 4's setting: 3x3 PC job (pids 0-8) + serial job (pid 9)."""
+    topo = grid_2d(3, 3, halo_bytes=1.0)
+    return Workload([pc_job(0, "delta1", topology=topo),
+                     serial_job(1, "p10")], cores_per_machine=2)
+
+
+class TestCommProperty:
+    def test_paper_fig4_node_12(self):
+        """Node <1,2> (ranks {0,1}): the paper writes the property (cx, cy)
+        = (1, 2); our axis order is (row-axis, col-axis), i.e. (2, 1) —
+        2 y-direction externals (p1-p4, p2-p5) and 1 x-direction (p2-p3)."""
+        topo = grid_2d(3, 3, 1.0)
+        assert comm_property(topo, {0, 1}) == (2, 1)
+
+    def test_paper_fig4_condensable_nodes(self):
+        """<1,3>, <1,7>, <1,9> (ranks {0,2}, {0,6}, {0,8}) all share (2,2)."""
+        topo = grid_2d(3, 3, 1.0)
+        assert comm_property(topo, {0, 2}) == (2, 2)
+        assert comm_property(topo, {0, 6}) == (2, 2)
+        assert comm_property(topo, {0, 8}) == (2, 2)
+
+    def test_whole_grid_has_no_external(self):
+        topo = grid_2d(3, 3, 1.0)
+        assert comm_property(topo, set(range(9))) == (0, 0)
+
+    def test_single_interior_rank(self):
+        topo = grid_2d(3, 3, 1.0)
+        assert comm_property(topo, {4}) == (2, 2)
+
+
+class TestCondensationKey:
+    def test_fig4_condensation(self):
+        """Nodes <1,3>, <1,7>, <1,9> condense; <1,2> does not join them."""
+        wl = fig4_workload()
+        k13 = node_condensation_key(wl, (0, 2))
+        k17 = node_condensation_key(wl, (0, 6))
+        k19 = node_condensation_key(wl, (0, 8))
+        k12 = node_condensation_key(wl, (0, 1))
+        assert k13 == k17 == k19
+        assert k12 != k13
+
+    def test_serial_jobs_never_condense(self):
+        wl = Workload([serial_job(0, "a"), serial_job(1, "b"),
+                       serial_job(2, "c")], cores_per_machine=1)
+        assert node_condensation_key(wl, (0,)) != node_condensation_key(wl, (1,))
+
+    def test_pe_ranks_fully_interchangeable(self):
+        wl = Workload([pe_job(0, "mc", nprocs=4), serial_job(1, "x"),
+                       serial_job(2, "y")], cores_per_machine=2)
+        # Any two ranks of the PE job with serial x are equivalent.
+        assert (node_condensation_key(wl, (0, 4))
+                == node_condensation_key(wl, (1, 4))
+                == node_condensation_key(wl, (3, 4)))
+        # But different serial partners differ.
+        assert (node_condensation_key(wl, (0, 4))
+                != node_condensation_key(wl, (0, 5)))
+
+    def test_mixed_node_with_same_comm_property(self):
+        wl = fig4_workload()
+        # Nodes with the serial job and symmetric corner ranks condense.
+        k_a = node_condensation_key(wl, (0, 9))
+        k_b = node_condensation_key(wl, (2, 9))
+        assert k_a == k_b  # both corners: property (1,1)... verify
+        topo = wl.jobs[0].topology
+        assert comm_property(topo, {0}) == comm_property(topo, {2})
+
+    def test_imaginary_pads_group_with_serial(self):
+        wl = Workload([serial_job(0, "a")], cores_per_machine=2)
+        key = node_condensation_key(wl, (0, 1))
+        serial_part, parallel_part = key
+        assert serial_part == (0, 1)
+        assert parallel_part == ()

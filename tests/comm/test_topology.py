@@ -1,0 +1,133 @@
+"""Unit tests for domain decompositions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.comm.topology import (
+    Decomposition,
+    grid_1d,
+    grid_2d,
+    grid_3d,
+    square_ish_grid,
+)
+
+
+class TestCoords:
+    def test_2d_row_major(self):
+        topo = grid_2d(3, 3, 1.0)
+        assert topo.coords(0) == (0, 0)
+        assert topo.coords(2) == (0, 2)
+        assert topo.coords(4) == (1, 1)
+        assert topo.coords(8) == (2, 2)
+
+    def test_roundtrip(self):
+        topo = grid_3d(2, 3, 4, 1.0)
+        for r in range(topo.nprocs):
+            assert topo.rank(topo.coords(r)) == r
+
+    def test_out_of_range(self):
+        topo = grid_1d(4, 1.0)
+        with pytest.raises(ValueError):
+            topo.coords(4)
+        with pytest.raises(ValueError):
+            topo.rank((9,))
+
+
+class TestNeighbours:
+    def test_paper_fig2_center(self):
+        """The 3x3 grid of Fig. 2: p5 (rank 4) talks to p2, p4, p6, p8."""
+        topo = grid_2d(3, 3, 1.0)
+        nbrs = sorted(r for _axis, r in topo.neighbours(4))
+        assert nbrs == [1, 3, 5, 7]
+        assert topo.degree(4) == 4
+
+    def test_corner_degree(self):
+        topo = grid_2d(3, 3, 1.0)
+        assert topo.degree(0) == 2
+        assert topo.degree(8) == 2
+
+    def test_1d_chain(self):
+        topo = grid_1d(5, 1.0)
+        assert topo.degree(0) == 1
+        assert topo.degree(2) == 2
+        assert sorted(r for _a, r in topo.neighbours(2)) == [1, 3]
+
+    def test_3d_interior_degree(self):
+        topo = grid_3d(3, 3, 3, 1.0)
+        assert topo.degree(13) == 6  # center of the cube
+
+    def test_edges_are_symmetric(self):
+        topo = grid_2d(4, 5, 2.0)
+        for r in range(topo.nprocs):
+            for _axis, nbr in topo.neighbours(r):
+                assert any(b == r for _a, b in topo.neighbours(nbr))
+
+    def test_iter_edges_counts(self):
+        topo = grid_2d(3, 3, 1.0)
+        edges = list(topo.iter_edges())
+        # 3x3 grid: 2*3 horizontal strips of 2 + same vertical = 12 edges.
+        assert len(edges) == 12
+        assert len(set(edges)) == 12
+
+
+class TestValidation:
+    def test_halo_per_axis(self):
+        with pytest.raises(ValueError, match="one entry per axis"):
+            Decomposition(dims=(2, 2), halo_bytes=(1.0,))
+
+    def test_negative_halo(self):
+        with pytest.raises(ValueError):
+            Decomposition(dims=(2,), halo_bytes=(-1.0,))
+
+    def test_zero_dim(self):
+        with pytest.raises(ValueError):
+            Decomposition(dims=(0, 2), halo_bytes=(1.0, 1.0))
+
+
+class TestSquareIshGrid:
+    def test_perfect_square(self):
+        topo = square_ish_grid(9, 1.0)
+        assert topo.dims == (3, 3)
+
+    def test_rectangle(self):
+        topo = square_ish_grid(12, 1.0)
+        assert topo.dims == (3, 4)
+
+    def test_prime_falls_back_to_1d(self):
+        topo = square_ish_grid(11, 1.0)
+        assert topo.dims == (11,)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_property_exact_process_count(self, n):
+        assert square_ish_grid(n, 1.0).nprocs == n
+
+
+class TestPeriodic:
+    def test_ring_neighbours_wrap(self):
+        ring = grid_1d(5, 1.0, periodic=True)
+        assert sorted(r for _a, r in ring.neighbours(0)) == [1, 4]
+        assert ring.degree(0) == ring.degree(2) == 2
+
+    def test_torus_uniform_degree(self):
+        torus = grid_2d(3, 4, 1.0, periodic=True)
+        assert all(torus.degree(r) == 4 for r in range(torus.nprocs))
+
+    def test_torus_edges_symmetric(self):
+        torus = grid_2d(3, 3, 1.0, periodic=True)
+        for r in range(torus.nprocs):
+            for _a, nbr in torus.neighbours(r):
+                assert any(b == r for _x, b in torus.neighbours(nbr))
+
+    def test_extent_two_rejected(self):
+        with pytest.raises(ValueError, match="extents"):
+            grid_2d(2, 3, 1.0, periodic=True)
+
+    def test_extent_one_axis_has_no_wrap(self):
+        line = Decomposition(dims=(1, 4), halo_bytes=(1.0, 1.0),
+                             periodic=True)
+        # Axis 0 has extent 1: no neighbours along it.
+        assert all(axis == 1 for axis, _r in line.neighbours(0))
+
+    def test_scrambled_preserves_periodicity(self):
+        torus = grid_2d(3, 3, 1.0, periodic=True).scrambled(1)
+        assert all(torus.degree(r) == 4 for r in range(9))

@@ -1,0 +1,93 @@
+"""Tests for the explicit co-scheduling graph (Fig. 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, serial_job
+from repro.core.machine import DUAL_CORE_CLUSTER
+from repro.core.problem import CoSchedulingProblem
+from repro.graph.coschedule_graph import CoSchedulingGraph
+from repro.solvers.brute_force import count_partitions
+
+
+def six_job_problem(seed=0):
+    """The Fig. 3 setting: 6 jobs on dual-core machines."""
+    jobs = [serial_job(i, f"j{i}") for i in range(6)]
+    wl = Workload(jobs, cores_per_machine=2)
+    rng = np.random.default_rng(seed)
+    D = rng.uniform(0, 1, size=(6, 6))
+    np.fill_diagonal(D, 0.0)
+    return CoSchedulingProblem(wl, DUAL_CORE_CLUSTER,
+                               MatrixDegradationModel(pairwise=D))
+
+
+class TestGraphStructure:
+    def test_fig3_node_count(self):
+        """6 jobs on dual-core: C(6,2) = 15 nodes, exactly as Fig. 3."""
+        g = CoSchedulingGraph(six_job_problem())
+        assert g.n_nodes == 15
+        assert g.n_levels == 5
+
+    def test_level_sizes(self):
+        """Level i holds C(n-i-1, u-1) nodes (paper Section III-A)."""
+        g = CoSchedulingGraph(six_job_problem())
+        for L in range(g.n_levels):
+            assert len(g.level(L)) == math.comb(6 - L - 1, 1)
+
+    def test_node_coding_ascending(self):
+        g = CoSchedulingGraph(six_job_problem())
+        for node in g.nodes():
+            assert list(node) == sorted(node)
+        assert g.level(0)[0] == (0, 1)
+
+    def test_level_sorted_by_weight(self):
+        g = CoSchedulingGraph(six_job_problem())
+        ws = [g.weight(nd) for nd in g.level_sorted_by_weight(0)]
+        assert ws == sorted(ws)
+
+    def test_refuses_huge_graphs(self):
+        with pytest.raises(ValueError, match="lazy"):
+            CoSchedulingGraph(six_job_problem(), max_nodes=3)
+
+
+class TestValidPaths:
+    def test_path_count_equals_partitions(self):
+        g = CoSchedulingGraph(six_job_problem())
+        paths = list(g.valid_paths())
+        assert len(paths) == count_partitions(6, 2) == 15
+
+    def test_each_path_is_a_partition(self):
+        g = CoSchedulingGraph(six_job_problem())
+        for path in g.valid_paths():
+            flat = sorted(p for node in path for p in node)
+            assert flat == list(range(6))
+
+    def test_paths_follow_level_order(self):
+        g = CoSchedulingGraph(six_job_problem())
+        for path in g.valid_paths():
+            heads = [node[0] for node in path]
+            assert heads == sorted(heads)
+            assert heads[0] == 0
+
+
+class TestNetworkxExport:
+    def test_export_shape(self):
+        g = CoSchedulingGraph(six_job_problem())
+        nxg = g.to_networkx()
+        # 15 graph nodes + start + end.
+        assert nxg.number_of_nodes() == 17
+        starts = list(nxg.successors(("start",)))
+        assert len(starts) == 5  # level 0
+        enders = list(nxg.predecessors(("end",)))
+        assert all(nd[0] == 4 for nd in enders)  # last level
+
+    def test_edges_only_between_disjoint_nodes(self):
+        g = CoSchedulingGraph(six_job_problem())
+        nxg = g.to_networkx()
+        for a, b in nxg.edges():
+            if a == ("start",) or b == ("end",):
+                continue
+            assert set(a).isdisjoint(b)

@@ -1,0 +1,179 @@
+"""Tests for successor generation and the h(v) estimators."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.degradation import MatrixDegradationModel, MissRatePressureModel
+from repro.core.jobs import Workload, pe_job, serial_job
+from repro.core.machine import DUAL_CORE_CLUSTER, QUAD_CORE_CLUSTER
+from repro.core.objective import evaluate_schedule
+from repro.core.problem import CoSchedulingProblem
+from repro.core.schedule import CoSchedule
+from repro.graph.levels import HeuristicEstimator, SuccessorGenerator
+
+
+def pressure_problem(n, cluster=QUAD_CORE_CLUSTER, seed=0, saturation=None):
+    jobs = [serial_job(i, f"j{i}") for i in range(n)]
+    wl = Workload(jobs, cores_per_machine=cluster.cores)
+    rng = np.random.default_rng(seed)
+    rates = rng.uniform(0.15, 0.75, size=wl.n)
+    for pid in range(wl.n):
+        if wl.is_imaginary(pid):
+            rates[pid] = 0.0
+    model = MissRatePressureModel(rates, cores=cluster.cores,
+                                  saturation=saturation)
+    return CoSchedulingProblem(wl, cluster, model)
+
+
+class TestSuccessorGenerator:
+    def test_counts_all_valid_nodes(self):
+        problem = pressure_problem(8)
+        gen = SuccessorGenerator(problem)
+        succ = gen.successors(tuple(range(8)))
+        assert len(succ) == math.comb(7, 3)
+        assert all(node[0] == 0 for node, _w in succ)
+
+    def test_limit_returns_lowest_weights(self):
+        problem = pressure_problem(8)
+        gen = SuccessorGenerator(problem)
+        full = sorted(w for _n, w in gen.successors(tuple(range(8))))
+        top = gen.successors(tuple(range(8)), limit=5)
+        assert [w for _n, w in top] == pytest.approx(full[:5])
+
+    def test_lazy_path_matches_exact(self):
+        problem = pressure_problem(16)
+        exact_gen = SuccessorGenerator(problem, lazy_threshold=10**9)
+        lazy_gen = SuccessorGenerator(problem, lazy_threshold=1)
+        st_ = tuple(range(16))
+        exact = exact_gen.successors(st_, limit=4)
+        lazy = lazy_gen.successors(st_, limit=4)
+        assert [w for _n, w in exact] == pytest.approx([w for _n, w in lazy])
+        assert [set(n) for n, _ in exact] == [set(n) for n, _ in lazy]
+
+    def test_pe_bucketing_shrinks_enumeration(self):
+        jobs = [pe_job(0, "mc", nprocs=6), serial_job(1, "a"), serial_job(2, "b")]
+        wl = Workload(jobs, cores_per_machine=4)
+        # PE ranks share a miss rate, so the model declares them
+        # interchangeable and bucketing may kick in.
+        model = MissRatePressureModel([0.5] * 6 + [0.2, 0.7], cores=4)
+        problem = CoSchedulingProblem(wl, QUAD_CORE_CLUSTER, model)
+        bucketed = SuccessorGenerator(problem, condense_pe=True)
+        flat = SuccessorGenerator(problem, condense_pe=False)
+        s = tuple(range(8))
+        n_b = len(bucketed.successors(s))
+        n_f = len(flat.successors(s))
+        assert n_b < n_f == math.comb(7, 3)
+        # Bucketed choices: level pid is rank 0 of the PE job; remaining
+        # 3 slots from {5 more PE ranks (prefix only), a, b}:
+        # compositions: (3,0,0),(2,1,0),(2,0,1),(1,1,1) -> 4 nodes.
+        assert n_b == 4
+
+    def test_stream_requires_monotone(self):
+        jobs = [pe_job(0, "mc", nprocs=4)]
+        wl = Workload(jobs, cores_per_machine=2)
+        problem = CoSchedulingProblem(
+            wl, DUAL_CORE_CLUSTER,
+            MatrixDegradationModel(pairwise=np.zeros((4, 4))),
+        )
+        gen = SuccessorGenerator(problem)
+        assert not gen.supports_stream()
+        with pytest.raises(RuntimeError):
+            next(gen.successors_stream((0, 1, 2, 3)))
+
+    def test_stream_ascending(self):
+        problem = pressure_problem(12)
+        gen = SuccessorGenerator(problem)
+        assert gen.supports_stream()
+        ws = [w for _n, w in itertools.islice(
+            gen.successors_stream(tuple(range(12))), 30)]
+        assert all(a <= b + 1e-12 for a, b in zip(ws, ws[1:]))
+
+
+def complete_schedules(n, u):
+    """All canonical partitions, as node tuples."""
+    def rec(unscheduled):
+        if not unscheduled:
+            yield ()
+            return
+        head, rest = unscheduled[0], unscheduled[1:]
+        for combo in itertools.combinations(rest, u - 1):
+            node = (head,) + combo
+            remaining = tuple(p for p in rest if p not in combo)
+            for tail in rec(remaining):
+                yield (node,) + tail
+    yield from rec(tuple(range(n)))
+
+
+class TestHeuristicAdmissibility:
+    @pytest.mark.parametrize("strategy", [1, 2])
+    @pytest.mark.parametrize("level_mode", ["exact", "monotone", "pairwise"])
+    def test_h_never_exceeds_best_completion(self, strategy, level_mode):
+        """From the root state, h must lower-bound the optimal objective."""
+        problem = pressure_problem(8, cluster=QUAD_CORE_CLUSTER, seed=3)
+        est = HeuristicEstimator(problem, strategy=strategy,
+                                 level_mode=level_mode)
+        best = min(
+            evaluate_schedule(
+                problem, CoSchedule.from_groups(groups, u=4, n=8)
+            ).objective
+            for groups in complete_schedules(8, 4)
+        )
+        assert est.h(tuple(range(8))) <= best + 1e-9
+
+    def test_h_admissible_from_intermediate_states(self):
+        problem = pressure_problem(8, cluster=DUAL_CORE_CLUSTER, seed=5)
+        est = HeuristicEstimator(problem, strategy=2, level_mode="exact")
+        # For every partial path, h(state) <= cost of the best completion
+        # of the REMAINING jobs.
+        from repro.core.objective import partial_distance
+
+        for groups in complete_schedules(6, 2):
+            # evaluate suffix completions of each prefix
+            for k in range(1, 3):
+                prefix, suffix = groups[:k], groups[k:]
+                unscheduled = tuple(sorted(
+                    p for g in suffix for p in g
+                ))
+                suffix_cost = partial_distance(problem, suffix)
+                assert est.h(unscheduled) <= suffix_cost + 1e-9
+
+    def test_both_strategies_give_positive_bounds(self):
+        """S1 and S2 are incomparable pointwise (the paper's claim is about
+        pruning effectiveness, not dominance) — but both must be positive
+        lower bounds on a contended instance."""
+        problem = pressure_problem(12, seed=7)
+        e1 = HeuristicEstimator(problem, strategy=1, level_mode="exact")
+        e2 = HeuristicEstimator(problem, strategy=2, level_mode="exact")
+        state = tuple(range(12))
+        assert e1.h(state) > 0.0
+        assert e2.h(state) > 0.0
+
+    def test_h_tail_bounds_children(self):
+        problem = pressure_problem(12, seed=9)
+        est = HeuristicEstimator(problem, strategy=2)
+        state = tuple(range(12))
+        tail = est.h_tail(state)
+        gen = SuccessorGenerator(problem)
+        for node, _w in gen.successors(state, limit=10):
+            child = tuple(p for p in state if p not in node)
+            assert est.h(child) >= tail - 1e-9
+
+    def test_zero_when_done(self):
+        problem = pressure_problem(8)
+        est = HeuristicEstimator(problem)
+        assert est.h(()) == 0.0
+
+    def test_invalid_args(self):
+        problem = pressure_problem(8)
+        with pytest.raises(ValueError):
+            HeuristicEstimator(problem, strategy=3)
+        with pytest.raises(ValueError):
+            HeuristicEstimator(problem, h_parallel="bogus")
+        with pytest.raises(ValueError):
+            HeuristicEstimator(problem, variant="bogus")
+        with pytest.raises(ValueError):
+            HeuristicEstimator(problem, level_mode="bogus")

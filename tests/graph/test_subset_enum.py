@@ -1,0 +1,102 @@
+"""Tests for the lazy best-first subset enumerator."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.subset_enum import (
+    iter_subsets_by_weight,
+    iter_subsets_exact,
+    iter_subsets_monotone,
+)
+
+
+def sum_weight(vals):
+    return lambda sub: sum(vals[i] for i in sub)
+
+
+class TestExact:
+    def test_yields_all_combinations_ascending(self):
+        vals = {0: 3.0, 1: 1.0, 2: 2.0, 3: 0.5}
+        out = list(iter_subsets_exact([0, 1, 2, 3], 2, sum_weight(vals)))
+        assert len(out) == 6
+        weights = [w for _s, w in out]
+        assert weights == sorted(weights)
+        assert out[0][0] == (1, 3)  # 1.5 is the smallest pair
+
+    def test_k_zero(self):
+        out = list(iter_subsets_exact([1, 2], 0, lambda s: 0.0))
+        assert out == [((), 0.0)]
+
+
+class TestMonotone:
+    def test_matches_exact_for_additive_weights(self):
+        vals = {i: float((i * 7) % 5) + 0.1 * i for i in range(8)}
+        w = sum_weight(vals)
+        lazy = list(iter_subsets_monotone(list(range(8)), 3, w,
+                                          rank_key=lambda i: vals[i]))
+        exact = list(iter_subsets_exact(list(range(8)), 3, w))
+        assert [lw for _s, lw in lazy] == pytest.approx(
+            [ew for _s, ew in exact]
+        )
+        assert len(lazy) == math.comb(8, 3)
+        assert {frozenset(s) for s, _ in lazy} == {
+            frozenset(s) for s, _ in exact
+        }
+
+    def test_lazy_touches_only_what_is_consumed(self):
+        evals = {"n": 0}
+        vals = list(range(100))
+
+        def w(sub):
+            evals["n"] += 1
+            return sum(vals[i] for i in sub)
+
+        it = iter_subsets_monotone(list(range(100)), 4, w, rank_key=lambda i: i)
+        for _ in range(5):
+            next(it)
+        # 5 pops cost at most 1 + 5*k pushes worth of evaluations.
+        assert evals["n"] <= 1 + 5 * 4
+
+    def test_k_larger_than_n_yields_nothing(self):
+        assert list(iter_subsets_monotone([1, 2], 3, lambda s: 0.0,
+                                          rank_key=lambda i: i)) == []
+
+    def test_k_zero(self):
+        out = list(iter_subsets_monotone([1], 0, lambda s: 1.0,
+                                         rank_key=lambda i: i))
+        assert out == [((), 0.0)]
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            list(iter_subsets_monotone([1], -1, lambda s: 0.0,
+                                       rank_key=lambda i: i))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=3,
+                 max_size=9),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_property_complete_and_sorted(self, vals, k):
+        if k > len(vals):
+            k = len(vals)
+        items = list(range(len(vals)))
+        w = sum_weight(dict(enumerate(vals)))
+        out = list(iter_subsets_monotone(items, k, w,
+                                         rank_key=lambda i: vals[i]))
+        assert len(out) == math.comb(len(vals), k)
+        weights = [wt for _s, wt in out]
+        assert all(a <= b + 1e-9 for a, b in zip(weights, weights[1:]))
+
+
+class TestDispatch:
+    def test_requires_rank_key_for_monotone(self):
+        with pytest.raises(ValueError):
+            iter_subsets_by_weight([1, 2], 1, lambda s: 0.0, monotone=True)
+
+    def test_dispatch_exact(self):
+        out = list(iter_subsets_by_weight([0, 1], 1, lambda s: float(s[0])))
+        assert out == [((0,), 0.0), ((1,), 1.0)]

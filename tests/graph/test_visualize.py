@@ -1,0 +1,68 @@
+"""Tests for graph visualization output."""
+
+import numpy as np
+
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, serial_job
+from repro.core.machine import DUAL_CORE_CLUSTER
+from repro.core.problem import CoSchedulingProblem
+from repro.graph.coschedule_graph import CoSchedulingGraph
+from repro.graph.visualize import ascii_levels, describe_path, to_dot
+from repro.solvers import OAStar
+
+
+def fig3_setup():
+    jobs = [serial_job(i, f"j{i}") for i in range(6)]
+    wl = Workload(jobs, cores_per_machine=2)
+    rng = np.random.default_rng(0)
+    D = rng.uniform(0, 1, (6, 6))
+    np.fill_diagonal(D, 0.0)
+    problem = CoSchedulingProblem(wl, DUAL_CORE_CLUSTER,
+                                  MatrixDegradationModel(pairwise=D))
+    return problem, CoSchedulingGraph(problem)
+
+
+class TestAsciiLevels:
+    def test_all_levels_rendered(self):
+        problem, graph = fig3_setup()
+        text = ascii_levels(graph)
+        assert text.count("level") == 5
+        assert "<1,2>" in text  # paper's 1-based node coding
+
+    def test_highlighted_path_marked(self):
+        problem, graph = fig3_setup()
+        sched = OAStar().solve(problem).schedule
+        text = ascii_levels(graph, highlight=sched)
+        assert text.count("*<") == 3  # 3 machines on the path
+
+    def test_truncation(self):
+        problem, graph = fig3_setup()
+        text = ascii_levels(graph, max_nodes_per_level=2)
+        assert "more)" in text
+
+
+class TestDot:
+    def test_valid_dot_structure(self):
+        problem, graph = fig3_setup()
+        sched = OAStar().solve(problem).schedule
+        dot = to_dot(graph, highlight=sched)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("cluster_level") == 5
+        assert "color=red" in dot  # highlighted path
+        assert "start ->" in dot and "-> end" in dot
+
+    def test_parses_with_networkx_pydot_free(self):
+        """The DOT text must at least be line-balanced (no renderer here)."""
+        problem, graph = fig3_setup()
+        dot = to_dot(graph)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestDescribePath:
+    def test_narration(self):
+        problem, graph = fig3_setup()
+        sched = OAStar().solve(problem).schedule
+        text = describe_path(problem, sched)
+        assert text.count("weight=") == 3
+        assert "objective" in text

@@ -1,0 +1,70 @@
+"""Tests for the solver base class contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, serial_job
+from repro.core.machine import DUAL_CORE_CLUSTER
+from repro.core.problem import CoSchedulingProblem
+from repro.core.schedule import CoSchedule
+from repro.solvers.base import Solver, SolveResult
+
+
+def tiny_problem():
+    jobs = [serial_job(i, f"j{i}") for i in range(4)]
+    wl = Workload(jobs, cores_per_machine=2)
+    D = np.full((4, 4), 0.25)
+    np.fill_diagonal(D, 0.0)
+    return CoSchedulingProblem(wl, DUAL_CORE_CLUSTER,
+                               MatrixDegradationModel(pairwise=D))
+
+
+class _LyingSolver(Solver):
+    """Returns a schedule with a wrong internal objective."""
+
+    name = "liar"
+
+    def _solve(self, problem):
+        sched = CoSchedule.from_groups([(0, 1), (2, 3)], u=2)
+        return SolveResult(solver=self.name, schedule=sched,
+                           objective=123.456, time_seconds=0.0)
+
+
+class _HonestSolver(Solver):
+    name = "honest"
+
+    def _solve(self, problem):
+        sched = CoSchedule.from_groups([(0, 1), (2, 3)], u=2)
+        return SolveResult(solver=self.name, schedule=sched,
+                           objective=4 * 0.25, time_seconds=0.0)
+
+
+class _NoScheduleSolver(Solver):
+    name = "gave-up"
+
+    def _solve(self, problem):
+        return SolveResult(solver=self.name, schedule=None,
+                           objective=float("inf"), time_seconds=0.0)
+
+
+class TestSolverContract:
+    def test_objective_cross_check_catches_lies(self):
+        with pytest.raises(AssertionError, match="internal objective"):
+            _LyingSolver().solve(tiny_problem())
+
+    def test_honest_solver_gets_evaluation_and_timing(self):
+        result = _HonestSolver().solve(tiny_problem())
+        assert result.evaluation is not None
+        assert result.evaluation.objective == pytest.approx(1.0)
+        assert result.time_seconds >= 0.0
+
+    def test_no_schedule_skips_evaluation(self):
+        result = _NoScheduleSolver().solve(tiny_problem())
+        assert result.evaluation is None
+        assert result.objective == float("inf")
+
+    def test_result_str(self):
+        result = _HonestSolver().solve(tiny_problem())
+        text = str(result)
+        assert "honest" in text and "objective" in text

@@ -1,0 +1,165 @@
+"""The central integration suite: every exact solver must agree with brute
+force on randomized instances covering all job kinds and machine types."""
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, serial_job
+from repro.core.machine import CLUSTERS
+from repro.core.problem import CoSchedulingProblem
+from repro.solvers import (
+    BranchBoundIP,
+    BruteForce,
+    HAStar,
+    OAStar,
+    OSVP,
+    PolitenessGreedy,
+    RandomScheduler,
+    ScipyMILP,
+    SequentialScheduler,
+)
+from repro.workloads.synthetic import (
+    random_asymmetric_instance,
+    random_interaction_instance,
+    random_mixed_instance,
+    random_profile_instance,
+    random_serial_instance,
+)
+
+TOL = 1e-8
+
+
+def exact_solvers():
+    return [
+        BruteForce(),
+        OAStar(name="OA*"),
+        OAStar(h_strategy=1, name="OA*h1"),
+        OAStar(process_floor=False, partial_expansion=False, name="OA*plain"),
+        OSVP(),
+        ScipyMILP(),
+        BranchBoundIP(),
+    ]
+
+
+def assert_all_optimal(problem):
+    results = {}
+    for solver in exact_solvers():
+        problem.clear_caches()
+        results[solver.name] = solver.solve(problem)
+    objs = {name: r.objective for name, r in results.items()}
+    ref = objs["brute-force"]
+    for name, obj in objs.items():
+        assert obj == pytest.approx(ref, abs=TOL), f"{name}: {objs}"
+    return ref, results
+
+
+class TestSerialInstances:
+    @pytest.mark.parametrize("cluster", ["dual", "quad"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_pressure_model(self, cluster, seed):
+        n = 8 if cluster == "quad" else 6
+        problem = random_serial_instance(n, cluster=cluster, seed=seed)
+        assert_all_optimal(problem)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_saturating_pressure_model(self, seed):
+        problem = random_serial_instance(8, cluster="quad", seed=seed,
+                                         saturation=0.8)
+        assert_all_optimal(problem)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sdc_pipeline(self, seed):
+        problem = random_profile_instance(6, cluster="dual", seed=seed)
+        assert_all_optimal(problem)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_asymmetric_model(self, seed):
+        problem = random_asymmetric_instance(8, cluster="quad", seed=seed)
+        assert_all_optimal(problem)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_interaction_model(self, seed):
+        problem = random_interaction_instance(8, cluster="quad", seed=seed)
+        assert_all_optimal(problem)
+
+    def test_padding_instance(self):
+        """n not divisible by u: imaginary processes pad the last machine."""
+        problem = random_serial_instance(7, cluster="quad", seed=0)
+        assert problem.n == 8
+        ref, results = assert_all_optimal(problem)
+        # Pads never contribute degradation.
+        ev = results["OA*"].evaluation
+        assert all(jid >= 0 for jid in ev.job_degradations)
+
+
+class TestParallelInstances:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_pe_mix(self, seed):
+        problem = random_mixed_instance(4, pe_shapes=(2, 2), cluster="dual",
+                                        seed=seed)
+        assert_all_optimal(problem)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_pc_mix(self, seed):
+        problem = random_mixed_instance(4, pc_shapes=(4,), cluster="dual",
+                                        seed=seed)
+        assert_all_optimal(problem)
+
+    def test_pe_and_pc_mix_quad(self):
+        problem = random_mixed_instance(3, pe_shapes=(2,), pc_shapes=(3,),
+                                        cluster="quad", seed=2)
+        assert_all_optimal(problem)
+
+    def test_condensation_preserves_optimum(self):
+        for seed in (0, 1, 2):
+            problem = random_mixed_instance(4, pe_shapes=(3,), pc_shapes=(4,),
+                                            cluster="dual", seed=seed)
+            plain = OAStar().solve(problem)
+            problem.clear_caches()
+            condensed = OAStar(condense=True).solve(problem)
+            assert condensed.objective == pytest.approx(plain.objective,
+                                                        abs=TOL)
+
+    def test_paper_dismiss_rule_on_serial_equals_dominance(self):
+        """On serial-only instances the two dismissal rules coincide."""
+        for seed in range(4):
+            problem = random_serial_instance(8, cluster="quad", seed=seed)
+            dom = OAStar().solve(problem)
+            problem.clear_caches()
+            pap = OAStar(dismiss="paper").solve(problem)
+            assert pap.objective == pytest.approx(dom.objective, abs=TOL)
+
+
+class TestHeuristicQuality:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_hastar_bounded_below_by_optimal(self, seed):
+        problem = random_serial_instance(8, cluster="quad", seed=seed)
+        opt = OAStar().solve(problem).objective
+        problem.clear_caches()
+        ha = HAStar().solve(problem)
+        assert ha.objective >= opt - TOL
+        assert ha.schedule is not None
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_greedy_bounded_below_by_optimal(self, seed):
+        problem = random_interaction_instance(8, cluster="quad", seed=seed)
+        opt = OAStar().solve(problem).objective
+        for solver in (PolitenessGreedy(), RandomScheduler(seed),
+                       SequentialScheduler()):
+            problem.clear_caches()
+            r = solver.solve(problem)
+            assert r.objective >= opt - TOL
+
+    def test_beam_mode_returns_valid_schedule(self):
+        problem = random_interaction_instance(16, cluster="quad", seed=9)
+        r = HAStar(beam_width=4).solve(problem)
+        assert r.schedule is not None
+        assert r.schedule.n == problem.n
+
+    def test_wider_beam_never_hurts_much(self):
+        problem = random_interaction_instance(16, cluster="quad", seed=11)
+        narrow = HAStar(beam_width=2).solve(problem).objective
+        problem.clear_caches()
+        wide = HAStar(beam_width=64).solve(problem).objective
+        assert wide <= narrow + TOL

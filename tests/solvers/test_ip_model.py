@@ -1,0 +1,103 @@
+"""Tests for the set-partitioning IP formulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, pe_job, serial_job
+from repro.core.machine import DUAL_CORE_CLUSTER
+from repro.core.problem import CoSchedulingProblem
+from repro.solvers.ip_model import build_formulation
+
+
+def tiny_problem(with_parallel=False):
+    if with_parallel:
+        jobs = [pe_job(0, "mc", nprocs=2), serial_job(1, "x"), serial_job(2, "y")]
+    else:
+        jobs = [serial_job(i, f"j{i}") for i in range(4)]
+    wl = Workload(jobs, cores_per_machine=2)
+    rng = np.random.default_rng(0)
+    D = rng.uniform(0, 1, size=(wl.n, wl.n))
+    np.fill_diagonal(D, 0.0)
+    return CoSchedulingProblem(wl, DUAL_CORE_CLUSTER,
+                               MatrixDegradationModel(pairwise=D))
+
+
+class TestFormulation:
+    def test_variable_and_row_counts_serial(self):
+        problem = tiny_problem()
+        form = build_formulation(problem)
+        assert form.n_x == math.comb(4, 2) == 6
+        assert form.n_y == 0
+        assert form.A_eq.shape == (4, 6)
+        assert form.A_ub.shape[0] == 0
+
+    def test_variable_and_row_counts_parallel(self):
+        problem = tiny_problem(with_parallel=True)
+        form = build_formulation(problem)
+        assert form.n_x == math.comb(4, 2)
+        assert form.n_y == 1          # one parallel job
+        assert form.A_ub.shape[0] == 2  # one row per parallel process
+
+    def test_partition_rows_cover_each_process_correctly(self):
+        problem = tiny_problem()
+        form = build_formulation(problem)
+        dense = form.A_eq.toarray()
+        # Each subset column has exactly u ones; each row covers C(n-1,u-1).
+        assert (dense.sum(axis=0) == 2).all()
+        assert (dense.sum(axis=1) == 3).all()
+
+    def test_subset_costs_sum_serial_degradations(self):
+        problem = tiny_problem()
+        form = build_formulation(problem)
+        for k, T in enumerate(form.subsets):
+            expected = sum(
+                problem.degradation(p, frozenset(T) - {p}) for p in T
+            )
+            assert form.cost[k] == pytest.approx(expected)
+
+    def test_parallel_costs_excluded_from_x_and_put_in_rows(self):
+        problem = tiny_problem(with_parallel=True)
+        form = build_formulation(problem)
+        # Subsets containing parallel pids contribute their parallel d via
+        # A_ub, not via cost.
+        dense = form.A_ub.toarray()
+        for k, T in enumerate(form.subsets):
+            for pid in T:
+                if pid in (0, 1):  # parallel ranks
+                    d = problem.degradation(pid, frozenset(T) - {pid})
+                    row = pid  # rows indexed by parallel process order
+                    if d:
+                        assert dense[row, k] == pytest.approx(d)
+        # y column has -1 entries.
+        assert (dense[:, form.n_x] == -1).all()
+
+    def test_schedule_decoding(self):
+        problem = tiny_problem()
+        form = build_formulation(problem)
+        x = np.zeros(form.n_x)
+        i = form.subsets.index((0, 1))
+        j = form.subsets.index((2, 3))
+        x[i] = x[j] = 1.0
+        sched = form.schedule_from_x(x)
+        assert sched.groups == ((0, 1), (2, 3))
+
+    def test_decoding_rejects_partial_cover(self):
+        problem = tiny_problem()
+        form = build_formulation(problem)
+        x = np.zeros(form.n_x)
+        x[0] = 1.0
+        with pytest.raises(ValueError, match="slots"):
+            form.schedule_from_x(x)
+
+    def test_size_guard(self):
+        problem = tiny_problem()
+        with pytest.raises(ValueError, match="subset variables"):
+            build_formulation(problem, max_subsets=2)
+
+    def test_integrality_vector(self):
+        form = build_formulation(tiny_problem(with_parallel=True))
+        integ = form.integrality()
+        assert integ[: form.n_x].all() and not integ[form.n_x:].any()

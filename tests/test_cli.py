@@ -1,0 +1,81 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig13" in out and "oastar" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_solve_unknown_program(self, capsys):
+        assert main(["solve", "nonesuch"]) == 2
+        assert "unknown program" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSolve:
+    def test_solve_prints_schedule(self, capsys):
+        rc = main(["solve", "--cluster", "dual", "BT", "CG", "EP", "FT"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "machine 0" in out
+        assert "average degradation" in out
+
+    def test_solve_with_heuristic(self, capsys):
+        rc = main(["solve", "--cluster", "quad", "--solver", "pg",
+                   "BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"])
+        assert rc == 0
+        assert "PG" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_small_experiment(self, capsys, monkeypatch):
+        # Patch the registry entry so "run" stays fast in CI.
+        import repro.cli as cli
+        from repro.experiments import table1
+
+        monkeypatch.setitem(
+            cli.REGISTRY, "table1",
+            lambda: table1.run(sizes=(8,), clusters=("dual",)),
+        )
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+
+class TestGraphCommand:
+    def test_ascii_output(self, capsys):
+        rc = main(["graph", "--cluster", "dual", "BT", "CG", "EP", "FT"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "level 1" in out and "objective" in out
+
+    def test_dot_output(self, capsys):
+        rc = main(["graph", "--cluster", "dual", "--dot",
+                   "BT", "CG", "EP", "FT"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_unknown_program(self, capsys):
+        assert main(["graph", "zzz"]) == 2
+
+
+class TestSimulateCommand:
+    def test_runs_and_reports(self, capsys):
+        rc = main(["simulate", "--jobs", "12", "--machines", "2",
+                   "--cores", "2", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "first-fit" in out and "least-pressure" in out

@@ -1,0 +1,91 @@
+"""Tiny-scale smoke tests for every experiment runner.
+
+Each runner executes at the smallest meaningful scale so the whole module
+stays in CI budget; shape assertions live in benchmarks/."""
+
+import pytest
+
+from repro.experiments import REGISTRY, fig5, fig6, fig7, fig8, fig9, fig10
+from repro.experiments import fig12, fig13, table1, table2, table3, table4
+
+
+class TestRegistry:
+    def test_all_thirteen_artifacts_covered(self):
+        assert set(REGISTRY) == {
+            "table1", "table2", "table3", "table4",
+            "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13",
+        }
+
+
+class TestRunners:
+    def test_table1_small(self):
+        r = table1.run(sizes=(8,), clusters=("dual",))
+        assert r.data[(8, "dual")]["match"]
+        assert "OA*" in r.text
+
+    def test_table2_small(self):
+        r = table2.run(sizes=(8,), clusters=("dual",))
+        assert r.data[(8, "dual")]["match"]
+
+    def test_table3_small(self):
+        r = table3.run(sizes=(8,), flavours=("se",), cluster="quad")
+        row = r.data["8(se)"]
+        assert row["OA*"] is not None and row["IP(milp)"] is not None
+
+    def test_table4_small(self):
+        r = table4.run(sizes=(8,), cluster="quad")
+        per = r.data[8]
+        assert {"Strategy 1", "Strategy 2", "O-SVP"} <= set(per)
+        objs = [v["objective"] for v in per.values()]
+        assert max(objs) - min(objs) < 1e-9
+
+    def test_fig5_small(self):
+        r = fig5.run(job_counts=(8,), cluster="quad", k_graphs=2)
+        row = r.data[8]
+        assert len(row["mers"]) == 2
+        assert all(g >= -1e-9 for g in row["hastar_gaps_percent"])
+
+    def test_fig6_small(self):
+        r = fig6.run(procs_per_job=2, pe_names=("PI", "RA"),
+                     serial_names=("BT", "DC", "UA", "IS"), cluster="quad")
+        assert r.data["avg_pe"] <= r.data["avg_se"] + 1e-9
+
+    def test_fig7_small(self):
+        r = fig7.run(procs_per_job=2, pc_names=("MG-Par", "LU-Par"),
+                     serial_names=("UA", "DC", "FT", "IS"), cluster="quad")
+        assert r.data["avg_pc"] <= r.data["avg_pe"] + 1e-9
+
+    def test_fig8_small(self):
+        r = fig8.run(procs_per_job=(1, 2), n_parallel_jobs=1,
+                     total_procs=8, cluster="quad")
+        assert len(r.data["with_condensation"]) == 2
+
+    def test_fig8_rejects_oversized_jobs(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            fig8.run(procs_per_job=(9,), n_parallel_jobs=1, total_procs=8)
+
+    def test_fig9_small(self):
+        r = fig9.run(counts_by_cluster={"dual": (8, 12)})
+        assert set(r.data["dual"]) == {8, 12}
+
+    def test_fig10_small(self):
+        r = fig10.run(apps=("BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"),
+                      cluster="quad")
+        avg = r.data["averages"]
+        assert avg["OA*"] <= avg["HA*"] + 1e-9
+        assert avg["OA*"] <= avg["PG"] + 1e-9
+
+    def test_fig11_without_oastar(self):
+        r = fig10.run_fig11(apps=("BT", "CG", "EP", "FT", "IS", "LU", "MG",
+                                  "SP"), cluster="eight")
+        assert r.exp_id == "fig11"
+        assert "OA*" not in r.data["averages"]
+
+    def test_fig12_small(self):
+        r = fig12.run(counts=(16,), cluster="quad")
+        assert len(r.data["gain_percent"]) == 1
+
+    def test_fig13_small(self):
+        r = fig13.run(counts=(16,), clusters=("quad", "eight"))
+        assert len(r.data["quad"]) == 1 and len(r.data["eight"]) == 1

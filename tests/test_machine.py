@@ -1,0 +1,62 @@
+"""Unit tests for machine/cluster specifications."""
+
+import pytest
+
+from repro.core.machine import (
+    CLUSTERS,
+    DUAL_CORE,
+    EIGHT_CORE,
+    MACHINES,
+    QUAD_CORE,
+    CacheSpec,
+    ClusterSpec,
+    MachineSpec,
+)
+
+
+class TestCacheSpec:
+    def test_geometry(self):
+        c = CacheSpec(size_bytes=4 * 1024 * 1024, associativity=16, line_bytes=64)
+        assert c.n_lines == 65536
+        assert c.n_sets == 4096
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheSpec(size_bytes=0, associativity=16)
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheSpec(size_bytes=1000, associativity=16, line_bytes=64)
+
+
+class TestMachineSpec:
+    def test_paper_machines(self):
+        assert DUAL_CORE.cores == 2
+        assert QUAD_CORE.cores == 4
+        assert EIGHT_CORE.cores == 8
+        # Shared cache sizes from Section V.
+        assert DUAL_CORE.shared_cache.size_bytes == 4 * 1024 * 1024
+        assert QUAD_CORE.shared_cache.size_bytes == 8 * 1024 * 1024
+        assert EIGHT_CORE.shared_cache.size_bytes == 20 * 1024 * 1024
+        assert all(m.shared_cache.associativity == 16
+                   for m in (DUAL_CORE, QUAD_CORE, EIGHT_CORE))
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            MachineSpec("x", 2, DUAL_CORE.shared_cache, clock_hz=0,
+                        miss_penalty_cycles=100)
+
+    def test_registry_consistency(self):
+        assert set(MACHINES) == set(CLUSTERS) == {"dual", "quad", "eight"}
+        for key, m in MACHINES.items():
+            assert CLUSTERS[key].machine is m
+            assert CLUSTERS[key].cores == m.cores
+
+
+class TestClusterSpec:
+    def test_default_bandwidth_is_10gbe(self):
+        assert CLUSTERS["quad"].bandwidth_bytes_per_s == pytest.approx(10e9 / 8)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(machine=DUAL_CORE, bandwidth_bytes_per_s=0)

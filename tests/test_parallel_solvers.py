@@ -1,0 +1,85 @@
+"""Tests for the parallel-solving extensions (portfolio and root-split)."""
+
+import pytest
+
+from repro.parallel import PortfolioSolver, SplitOAStar
+from repro.solvers import HAStar, OAStar, PolitenessGreedy
+from repro.workloads.synthetic import (
+    random_interaction_instance,
+    random_mixed_instance,
+    random_serial_instance,
+)
+
+
+class TestSplitOAStar:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_sequential_optimum(self, seed):
+        problem = random_serial_instance(8, cluster="quad", seed=seed)
+        seq = OAStar().solve(problem)
+        problem.clear_caches()
+        split = SplitOAStar(workers=1).solve(problem)
+        assert split.objective == pytest.approx(seq.objective, abs=1e-9)
+        assert split.optimal
+
+    def test_matches_on_interaction_model(self):
+        problem = random_interaction_instance(8, cluster="quad", seed=5)
+        seq = OAStar().solve(problem)
+        problem.clear_caches()
+        split = SplitOAStar(workers=1).solve(problem)
+        assert split.objective == pytest.approx(seq.objective, abs=1e-9)
+
+    def test_multiprocess_workers(self):
+        problem = random_serial_instance(8, cluster="quad", seed=3)
+        seq = OAStar().solve(problem)
+        problem.clear_caches()
+        split = SplitOAStar(workers=2).solve(problem)
+        assert split.objective == pytest.approx(seq.objective, abs=1e-9)
+
+    def test_rejects_parallel_jobs(self):
+        problem = random_mixed_instance(4, pe_shapes=(2,), cluster="dual",
+                                        seed=0)
+        with pytest.raises(ValueError, match="serial"):
+            SplitOAStar().solve(problem)
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            SplitOAStar(workers=0)
+
+    def test_dual_core_split(self):
+        problem = random_serial_instance(10, cluster="dual", seed=4)
+        seq = OAStar().solve(problem)
+        problem.clear_caches()
+        split = SplitOAStar(workers=1, chunk=3).solve(problem)
+        assert split.objective == pytest.approx(seq.objective, abs=1e-9)
+        assert split.stats["roots"] == 9
+
+
+class TestPortfolio:
+    def test_picks_best_member(self):
+        problem = random_interaction_instance(12, cluster="quad", seed=7)
+        port = PortfolioSolver([HAStar(), PolitenessGreedy()])
+        result = port.solve(problem)
+        assert result.objective == min(
+            result.stats["member_objectives"].values()
+        )
+        assert result.stats["winner"] in result.stats["member_objectives"]
+
+    def test_portfolio_no_worse_than_any_member(self):
+        problem = random_interaction_instance(12, cluster="quad", seed=8)
+        ha = HAStar().solve(problem)
+        problem.clear_caches()
+        pg = PolitenessGreedy().solve(problem)
+        problem.clear_caches()
+        port = PortfolioSolver([HAStar(), PolitenessGreedy()]).solve(problem)
+        assert port.objective <= min(ha.objective, pg.objective) + 1e-9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PortfolioSolver([])
+
+    def test_process_pool(self):
+        problem = random_serial_instance(8, cluster="quad", seed=9)
+        port = PortfolioSolver([HAStar(), PolitenessGreedy()], workers=2)
+        result = port.solve(problem)
+        assert result.schedule is not None
+        assert result.schedule.n == problem.n

@@ -1,0 +1,158 @@
+"""Tests for the problem bundle (Eq. 9 combination, caching, floors) and the
+objective evaluator (Eq. 6/12/13)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.comm.model import CommunicationModel
+from repro.comm.topology import grid_1d
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, pc_job, pe_job, serial_job
+from repro.core.machine import DUAL_CORE_CLUSTER, QUAD_CORE_CLUSTER, ClusterSpec
+from repro.core.objective import evaluate_schedule, partial_distance
+from repro.core.problem import CoSchedulingProblem
+from repro.core.schedule import CoSchedule
+
+
+def serial_problem(D, cluster=DUAL_CORE_CLUSTER):
+    n = D.shape[0]
+    jobs = [serial_job(i, f"j{i}") for i in range(n)]
+    wl = Workload(jobs, cores_per_machine=cluster.cores)
+    return CoSchedulingProblem(wl, cluster, MatrixDegradationModel(pairwise=D))
+
+
+def _three_core():
+    from repro.core.machine import CacheSpec, ClusterSpec, MachineSpec
+
+    m = MachineSpec("3-core", 3, CacheSpec(3 * 1024 * 1024, 12), 2e9, 100)
+    return ClusterSpec(machine=m)
+
+
+class TestProblem:
+    def test_shape_check(self):
+        jobs = [serial_job(0, "a"), serial_job(1, "b"), serial_job(2, "c")]
+        wl = Workload(jobs)  # no padding requested
+        with pytest.raises(ValueError, match="multiple"):
+            CoSchedulingProblem(wl, DUAL_CORE_CLUSTER,
+                                MatrixDegradationModel(pairwise=np.zeros((3, 3))))
+
+    def test_imaginary_are_transparent(self):
+        D = np.ones((4, 4)) - np.eye(4)
+        jobs = [serial_job(i, f"j{i}") for i in range(3)]
+        wl = Workload(jobs, cores_per_machine=2)  # one pad (pid 3)
+        problem = CoSchedulingProblem(
+            wl, DUAL_CORE_CLUSTER, MatrixDegradationModel(pairwise=D)
+        )
+        assert problem.degradation(3, frozenset({0})) == 0.0   # pad suffers 0
+        assert problem.degradation(0, frozenset({3})) == 0.0   # pad inflicts 0
+        assert problem.degradation(0, frozenset({1})) == 1.0
+
+    def test_node_weight_sums_members(self):
+        D = np.array([[0, 1, 2], [3, 0, 4], [5, 6, 0]], dtype=float)
+        jobs = [serial_job(i, f"j{i}") for i in range(3)]
+        wl = Workload(jobs, cores_per_machine=3)
+        problem = CoSchedulingProblem(
+            wl, _three_core(), MatrixDegradationModel(pairwise=D)
+        )
+        # weight = d0{1,2} + d1{0,2} + d2{0,1} = (1+2)+(3+4)+(5+6)
+        assert problem.node_weight((0, 1, 2)) == pytest.approx(21.0)
+
+    def test_caching_counts(self):
+        D = np.ones((4, 4)) - np.eye(4)
+        problem = serial_problem(D)
+        problem.degradation(0, frozenset({1}))
+        problem.degradation(0, frozenset({1}))
+        assert problem.stats["degradation_evals"] == 1
+        problem.clear_caches()
+        assert problem.stats["degradation_evals"] == 0
+
+    def test_eq9_combination_for_pc(self):
+        """Eq. 9: d = cache degradation + comm_time / single_time."""
+        topo = grid_1d(2, halo_bytes=500.0)
+        jobs = [pc_job(0, "mpi", topology=topo), serial_job(1, "x"),
+                serial_job(2, "y")]
+        wl = Workload(jobs, cores_per_machine=2)
+        D = np.zeros((4, 4))
+        D[0, 2] = 0.25  # rank0 suffers from x
+        model = MatrixDegradationModel(pairwise=D, single_times=[2.0] * 4)
+        cluster = ClusterSpec(machine=DUAL_CORE_CLUSTER.machine,
+                              bandwidth_bytes_per_s=1000.0)
+        comm = CommunicationModel(wl, cluster.bandwidth_bytes_per_s)
+        problem = CoSchedulingProblem(wl, cluster, model, comm)
+        # rank0 with serial x: cache 0.25 + comm (500/1000)/2 = 0.25.
+        assert problem.degradation(0, frozenset({2})) == pytest.approx(0.5)
+        # rank0 with its neighbour rank1: no comm, no cache entry.
+        assert problem.degradation(0, frozenset({1})) == 0.0
+
+    def test_min_process_degradation_floor(self):
+        rng = np.random.default_rng(0)
+        D = rng.uniform(0, 1, size=(6, 6))
+        np.fill_diagonal(D, 0.0)
+        problem = serial_problem(D)
+        for pid in range(6):
+            floor = problem.min_process_degradation(pid)
+            actual = min(
+                problem.degradation(pid, frozenset({q}))
+                for q in range(6) if q != pid
+            )
+            assert floor <= actual + 1e-12
+
+
+class TestObjective:
+    def test_serial_sum_eq12(self):
+        D = np.array(
+            [[0, 1, 0, 0], [2, 0, 0, 0], [0, 0, 0, 3], [0, 0, 4, 0]],
+            dtype=float,
+        )
+        problem = serial_problem(D)
+        sched = CoSchedule.from_groups([(0, 1), (2, 3)], u=2)
+        ev = evaluate_schedule(problem, sched)
+        assert ev.objective == pytest.approx(1 + 2 + 3 + 4)
+        assert ev.job_degradations[0] == 1.0
+        assert ev.average_job_degradation == pytest.approx(2.5)
+
+    def test_parallel_max_eq13(self):
+        """A PE job contributes max over its processes, not the sum."""
+        jobs = [pe_job(0, "mc", nprocs=2), serial_job(1, "x"), serial_job(2, "y")]
+        wl = Workload(jobs, cores_per_machine=2)
+        D = np.zeros((4, 4))
+        D[0, 2] = 0.6  # rank0 with x
+        D[1, 3] = 0.2  # rank1 with y
+        D[2, 0] = 0.1
+        D[3, 1] = 0.3
+        problem = CoSchedulingProblem(
+            wl, DUAL_CORE_CLUSTER, MatrixDegradationModel(pairwise=D)
+        )
+        sched = CoSchedule.from_groups([(0, 2), (1, 3)], u=2)
+        ev = evaluate_schedule(problem, sched)
+        # job 0: max(0.6, 0.2) = 0.6; serial x: 0.1; serial y: 0.3.
+        assert ev.objective == pytest.approx(0.6 + 0.1 + 0.3)
+        assert ev.job_degradations[0] == pytest.approx(0.6)
+        assert ev.max_job_degradation == pytest.approx(0.6)
+
+    def test_shape_mismatch_rejected(self):
+        problem = serial_problem(np.zeros((4, 4)))
+        wrong = CoSchedule.from_groups([(0, 1, 2, 3)], u=4)
+        with pytest.raises(ValueError):
+            evaluate_schedule(problem, wrong)
+
+    def test_partial_distance_matches_full_on_complete_path(self):
+        rng = np.random.default_rng(1)
+        D = rng.uniform(0, 1, size=(6, 6))
+        np.fill_diagonal(D, 0.0)
+        problem = serial_problem(D)
+        sched = CoSchedule.from_groups([(0, 3), (1, 4), (2, 5)], u=2)
+        assert partial_distance(problem, sched.groups) == pytest.approx(
+            evaluate_schedule(problem, sched).objective
+        )
+
+    def test_partial_distance_monotone_along_path(self):
+        rng = np.random.default_rng(2)
+        D = rng.uniform(0, 1, size=(6, 6))
+        np.fill_diagonal(D, 0.0)
+        problem = serial_problem(D)
+        groups = ((0, 3), (1, 4), (2, 5))
+        dists = [partial_distance(problem, groups[:k]) for k in range(4)]
+        assert all(a <= b + 1e-12 for a, b in zip(dists, dists[1:]))

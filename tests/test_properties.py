@@ -1,0 +1,177 @@
+"""Cross-cutting hypothesis property tests on core invariants.
+
+Module-level invariants have their own suites; these properties span the
+stack: random instances of random shapes, solved and evaluated end to end.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.degradation import (
+    AsymmetricContentionModel,
+    MatrixDegradationModel,
+    MissRatePressureModel,
+)
+from repro.core.jobs import Workload, pe_job, serial_job
+from repro.core.machine import CacheSpec, ClusterSpec, MachineSpec
+from repro.core.objective import evaluate_schedule, partial_distance
+from repro.core.problem import CoSchedulingProblem
+from repro.core.schedule import CoSchedule
+from repro.solvers import BruteForce, HAStar, OAStar, PolitenessGreedy
+from repro.solvers.brute_force import count_partitions
+
+
+def cluster_of(u):
+    line = 64
+    assoc = 8
+    machine = MachineSpec(
+        name=f"{u}-core", cores=u,
+        shared_cache=CacheSpec(size_bytes=assoc * line * 64, associativity=assoc),
+        clock_hz=1e9, miss_penalty_cycles=100.0,
+    )
+    return ClusterSpec(machine=machine)
+
+
+@st.composite
+def small_instances(draw):
+    """Random serial instances with n <= 8 and u in {2, 4}."""
+    u = draw(st.sampled_from([2, 4]))
+    m = draw(st.integers(min_value=1, max_value=2 if u == 4 else 3))
+    n = m * u
+    entries = draw(st.lists(
+        st.floats(min_value=0.0, max_value=1.0),
+        min_size=n * n, max_size=n * n,
+    ))
+    D = np.array(entries).reshape(n, n)
+    np.fill_diagonal(D, 0.0)
+    jobs = [serial_job(i, f"j{i}") for i in range(n)]
+    wl = Workload(jobs, cores_per_machine=u)
+    return CoSchedulingProblem(wl, cluster_of(u),
+                               MatrixDegradationModel(pairwise=D))
+
+
+class TestEndToEndProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(small_instances())
+    def test_oastar_is_optimal(self, problem):
+        oa = OAStar().solve(problem)
+        bf = BruteForce().solve(problem)
+        assert oa.objective == pytest.approx(bf.objective, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(small_instances())
+    def test_heuristics_bounded_and_valid(self, problem):
+        opt = OAStar().solve(problem).objective
+        for solver in (HAStar(), PolitenessGreedy()):
+            problem.clear_caches()
+            r = solver.solve(problem)
+            assert r.objective >= opt - 1e-9
+            flat = sorted(p for g in r.schedule.groups for p in g)
+            assert flat == list(range(problem.n))
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(small_instances())
+    def test_objective_invariant_under_group_order(self, problem):
+        r = OAStar().solve(problem)
+        groups = list(r.schedule.groups)
+        shuffled = CoSchedule.from_groups(list(reversed(groups)),
+                                          u=problem.u, n=problem.n)
+        assert evaluate_schedule(problem, shuffled).objective == pytest.approx(
+            r.objective
+        )
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(small_instances())
+    def test_partial_distance_prefix_monotone(self, problem):
+        r = OAStar().solve(problem)
+        groups = r.schedule.groups
+        prev = 0.0
+        for k in range(len(groups) + 1):
+            d = partial_distance(problem, groups[:k])
+            assert d >= prev - 1e-12
+            prev = d
+
+
+class TestModelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=4,
+                 max_size=10),
+        st.integers(min_value=0, max_value=9),
+    )
+    def test_pressure_model_self_exclusion(self, rates, pid):
+        """A process never degrades itself: coset containing pid is
+        equivalent to coset without it."""
+        model = MissRatePressureModel(rates + [0.5])
+        n = len(rates) + 1
+        pid = pid % n
+        others = frozenset(range(n)) - {pid}
+        with_self = model.cache_degradation(pid, others | {pid})
+        without = model.cache_degradation(pid, others)
+        assert with_self == pytest.approx(without)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=24),
+           st.integers(min_value=0, max_value=1000))
+    def test_asymmetric_min_degradation_floor(self, n, seed):
+        model = AsymmetricContentionModel.random(n, cores=4, seed=seed)
+        k = min(2, n - 1)
+        floor = model.min_degradation(0, list(range(n)), k)
+        import itertools
+
+        actual = min(
+            model.cache_degradation(0, frozenset(c))
+            for c in itertools.combinations(range(1, n), k)
+        )
+        assert floor <= actual + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=1, max_value=4))
+    def test_partition_count_formula(self, u, m):
+        """count_partitions matches direct enumeration for small shapes."""
+        n = u * m
+        if count_partitions(n, u) > 20_000:
+            return
+        import itertools
+
+        def rec(unplaced):
+            if not unplaced:
+                return 1
+            head, rest = unplaced[0], unplaced[1:]
+            total = 0
+            for combo in itertools.combinations(rest, u - 1):
+                remaining = tuple(p for p in rest if p not in combo)
+                total += rec(remaining)
+            return total
+
+        assert rec(tuple(range(n))) == count_partitions(n, u)
+
+
+class TestParallelObjectiveProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_pe_objective_never_exceeds_serialized_view(self, seed):
+        """Max-aggregation can only lower the objective versus summing all
+        processes as if serial (Eq. 6 <= Eq. 2 on the same placement)."""
+        rng = np.random.default_rng(seed)
+        jobs = [pe_job(0, "p", nprocs=2), serial_job(1, "a"), serial_job(2, "b")]
+        wl = Workload(jobs, cores_per_machine=2)
+        D = rng.uniform(0, 1, (4, 4))
+        np.fill_diagonal(D, 0.0)
+        problem = CoSchedulingProblem(wl, cluster_of(2),
+                                      MatrixDegradationModel(pairwise=D))
+        sched = CoSchedule.from_groups([(0, 2), (1, 3)], u=2)
+        ev = evaluate_schedule(problem, sched)
+        serial_view = sum(
+            problem.degradation(pid, sched.coset_of(pid)) for pid in range(4)
+        )
+        assert ev.objective <= serial_view + 1e-12

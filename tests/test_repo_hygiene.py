@@ -1,0 +1,93 @@
+"""Repository-level hygiene checks.
+
+Cheap guards that keep the public surface coherent: every documented
+experiment id exists, every public module imports cleanly, the version is
+consistent, and the examples reference only real APIs (they are executed in
+their own right by CI scripts; here we just import-compile them).
+"""
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+import repro
+
+REPO = pathlib.Path(repro.__file__).resolve().parent.parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def all_modules():
+    out = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC.parent)
+        mod = ".".join(rel.with_suffix("").parts)
+        if mod.endswith(".__init__"):
+            mod = mod[: -len(".__init__")]
+        out.append(mod)
+    return out
+
+
+class TestImports:
+    @pytest.mark.parametrize("module", all_modules())
+    def test_every_module_imports(self, module):
+        importlib.import_module(module)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestDocsConsistency:
+    def test_design_lists_every_experiment(self):
+        text = (REPO / "DESIGN.md").read_text()
+        from repro.experiments import REGISTRY
+
+        for exp_id in REGISTRY:
+            assert exp_id in text.lower() or exp_id.replace("table", "t") in (
+                text.lower()
+            ), f"{exp_id} missing from DESIGN.md"
+
+    def test_experiments_doc_covers_all_artifacts(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for artifact in ("Table I", "Table II", "Table III", "Table IV",
+                         "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9",
+                         "Fig. 10", "Fig. 12", "Fig. 13"):
+            assert artifact in text, f"{artifact} missing from EXPERIMENTS.md"
+
+    def test_readme_mentions_every_example(self):
+        readme = (REPO / "README.md").read_text()
+        for example in sorted((REPO / "examples").glob("*.py")):
+            assert example.name in readme, (
+                f"examples/{example.name} not documented in README"
+            )
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize(
+        "path", sorted((REPO / "examples").glob("*.py")),
+        ids=lambda p: p.name,
+    )
+    def test_example_parses_and_has_main(self, path):
+        tree = ast.parse(path.read_text())
+        names = {node.name for node in ast.walk(tree)
+                 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+        assert "main" in names
+        # Docstring present (examples are documentation).
+        assert ast.get_docstring(tree)
+
+
+class TestBenchmarkCoverage:
+    def test_one_bench_per_artifact(self):
+        bench_dir = REPO / "benchmarks"
+        names = {p.name for p in bench_dir.glob("test_*.py")}
+        for artifact in ("table1", "table2", "table3", "table4", "fig5",
+                         "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                         "fig12", "fig13"):
+            assert any(artifact in n for n in names), (
+                f"no benchmark covers {artifact}"
+            )

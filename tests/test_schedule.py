@@ -1,0 +1,76 @@
+"""Unit tests for schedule representation and validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.schedule import CoSchedule, validate_groups
+
+
+class TestValidation:
+    def test_accepts_valid_partition(self):
+        validate_groups([(0, 1), (2, 3)], n=4, u=2)
+
+    def test_rejects_duplicate_process(self):
+        with pytest.raises(ValueError, match="more than one group"):
+            validate_groups([(0, 1), (1, 2)], n=4, u=2)
+
+    def test_rejects_wrong_group_size(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            validate_groups([(0, 1, 2), (3,)], n=4, u=2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_groups([(0, 9), (2, 3)], n=4, u=2)
+
+    def test_rejects_indivisible_n(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            validate_groups([(0, 1)], n=3, u=2)
+
+    def test_rejects_wrong_group_count(self):
+        with pytest.raises(ValueError, match="expected 2 groups"):
+            validate_groups([(0, 1, 2, 3)], n=4, u=2)
+
+
+class TestCoSchedule:
+    def test_canonicalization(self):
+        a = CoSchedule.from_groups([[3, 2], [1, 0]], u=2)
+        b = CoSchedule.from_groups([[0, 1], [2, 3]], u=2)
+        assert a == b
+        assert a.groups == ((0, 1), (2, 3))
+
+    def test_from_assignment_roundtrip(self):
+        sched = CoSchedule.from_groups([(0, 2), (1, 3)], u=2)
+        again = CoSchedule.from_assignment(sched.machine_of(), u=2)
+        assert again == sched
+
+    def test_coset_of(self):
+        sched = CoSchedule.from_groups([(0, 2), (1, 3)], u=2)
+        assert sched.coset_of(0) == frozenset({2})
+        assert sched.coset_of(3) == frozenset({1})
+        with pytest.raises(KeyError):
+            sched.coset_of(99)
+
+    def test_counts(self):
+        sched = CoSchedule.from_groups([(0, 1, 2, 3)], u=4)
+        assert sched.n == 4
+        assert sched.n_machines == 1
+
+    def test_pretty_plain(self):
+        sched = CoSchedule.from_groups([(0, 1)], u=2)
+        assert "machine 0: [0, 1]" in sched.pretty()
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=4),
+           st.randoms(use_true_random=False))
+    def test_property_any_permutation_canonicalizes(self, m, u, rng):
+        n = m * u
+        pids = list(range(n))
+        rng.shuffle(pids)
+        groups = [pids[k * u:(k + 1) * u] for k in range(m)]
+        sched = CoSchedule.from_groups(groups, u=u)
+        # Canonical form: groups ascending internally, ordered by head.
+        flat = [p for g in sched.groups for p in g]
+        assert sorted(flat) == list(range(n))
+        assert all(list(g) == sorted(g) for g in sched.groups)
+        heads = [g[0] for g in sched.groups]
+        assert heads == sorted(heads)

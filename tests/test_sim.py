@@ -1,0 +1,135 @@
+"""Tests for the online co-scheduling simulator."""
+
+import pytest
+
+from repro.sim import (
+    FirstFitPlacement,
+    LeastLoadedPlacement,
+    LeastPressurePlacement,
+    MinDegradationPlacement,
+    OnlineJob,
+    default_degradation,
+    simulate,
+)
+
+
+def job(name, arrival=0.0, work=10.0, pressure=0.0):
+    return OnlineJob(name=name, arrival=arrival, work=work, pressure=pressure)
+
+
+class TestEngineBasics:
+    def test_no_contention_runs_at_solo_speed(self):
+        jobs = [job("a"), job("b", work=5.0)]
+        res = simulate(jobs, n_machines=2, cores=1, policy=FirstFitPlacement())
+        assert res.slowdown_of("a") == pytest.approx(1.0)
+        assert res.slowdown_of("b") == pytest.approx(1.0)
+        assert res.makespan == pytest.approx(10.0)
+
+    def test_contention_slows_corunners(self):
+        jobs = [job("a", pressure=1.0), job("b", pressure=1.0)]
+        res = simulate(jobs, n_machines=1, cores=2, policy=FirstFitPlacement())
+        # Each runs at 1/(1+1) while sharing -> slowdown 2.
+        assert res.slowdown_of("a") == pytest.approx(2.0)
+        assert res.makespan == pytest.approx(20.0)
+
+    def test_contention_ends_when_corunner_leaves(self):
+        jobs = [job("short", work=5.0, pressure=1.0),
+                job("long", work=10.0, pressure=1.0)]
+        res = simulate(jobs, n_machines=1, cores=2, policy=FirstFitPlacement())
+        # Both run at rate 1/2 until 'short' finishes at t=10 with 'long'
+        # having 5 work left, then full speed: makespan 15.
+        assert res.slowdown_of("short") == pytest.approx(2.0)
+        assert res.makespan == pytest.approx(15.0)
+        assert res.slowdown_of("long") == pytest.approx(1.5)
+
+    def test_waiting_for_a_core(self):
+        jobs = [job("a", work=10.0), job("b", arrival=1.0, work=10.0)]
+        res = simulate(jobs, n_machines=1, cores=1, policy=FirstFitPlacement())
+        # b waits until a finishes at t=10, completes at 20.
+        assert res.slowdown_of("b") == pytest.approx((20.0 - 1.0) / 10.0)
+
+    def test_arrival_order_respected(self):
+        jobs = [job("late", arrival=5.0, work=1.0), job("early", work=1.0)]
+        res = simulate(jobs, n_machines=1, cores=1, policy=FirstFitPlacement())
+        assert res.slowdown_of("early") == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineJob("x", arrival=0.0, work=0.0)
+        with pytest.raises(ValueError):
+            OnlineJob("x", arrival=-1.0, work=1.0)
+        with pytest.raises(ValueError):
+            simulate([job("a")], n_machines=0, cores=1,
+                     policy=FirstFitPlacement())
+
+
+class TestPolicies:
+    def heavy_light_jobs(self):
+        return [
+            job("h1", pressure=1.0), job("h2", pressure=1.0),
+            job("l1", pressure=0.01), job("l2", pressure=0.01),
+        ]
+
+    def test_least_pressure_separates_heavies(self):
+        res = simulate(self.heavy_light_jobs(), n_machines=2, cores=2,
+                       policy=LeastPressurePlacement())
+        heavies = [j for j in res.jobs if j.name.startswith("h")]
+        assert heavies[0].machine != heavies[1].machine
+
+    def test_first_fit_packs_heavies_together(self):
+        res = simulate(self.heavy_light_jobs(), n_machines=2, cores=2,
+                       policy=FirstFitPlacement())
+        heavies = [j for j in res.jobs if j.name.startswith("h")]
+        assert heavies[0].machine == heavies[1].machine
+
+    def test_contention_aware_beats_first_fit(self):
+        aware = simulate(self.heavy_light_jobs(), n_machines=2, cores=2,
+                         policy=LeastPressurePlacement())
+        naive = simulate(self.heavy_light_jobs(), n_machines=2, cores=2,
+                         policy=FirstFitPlacement())
+        assert aware.mean_slowdown < naive.mean_slowdown
+
+    def test_min_degradation_policy(self):
+        policy = MinDegradationPlacement(default_degradation)
+        res = simulate(self.heavy_light_jobs(), n_machines=2, cores=2,
+                       policy=policy)
+        heavies = [j for j in res.jobs if j.name.startswith("h")]
+        assert heavies[0].machine != heavies[1].machine
+
+    def test_least_loaded_spreads(self):
+        jobs = [job(f"j{i}") for i in range(4)]
+        res = simulate(jobs, n_machines=2, cores=2,
+                       policy=LeastLoadedPlacement())
+        per_machine = {}
+        for j in res.jobs:
+            per_machine[j.machine] = per_machine.get(j.machine, 0) + 1
+        assert per_machine == {0: 2, 1: 2}
+
+    def test_policy_returning_full_machine_rejected(self):
+        class Bad:
+            def place(self, job, machines):
+                return 0
+
+        jobs = [job("a"), job("b")]
+        with pytest.raises(ValueError, match="unavailable"):
+            simulate(jobs, n_machines=2, cores=1, policy=Bad())
+
+
+class TestStochasticWorkload:
+    def test_larger_scenario_runs_and_aware_wins(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        jobs = []
+        t = 0.0
+        for i in range(60):
+            t += float(rng.exponential(0.6))
+            jobs.append(job(f"j{i}", arrival=t,
+                            work=float(rng.uniform(3, 12)),
+                            pressure=float(rng.uniform(0.1, 1.0))))
+        aware = simulate([OnlineJob(j.name, j.arrival, j.work, j.pressure)
+                          for j in jobs], 4, 4, LeastPressurePlacement())
+        naive = simulate([OnlineJob(j.name, j.arrival, j.work, j.pressure)
+                          for j in jobs], 4, 4, FirstFitPlacement())
+        assert aware.mean_slowdown <= naive.mean_slowdown * 1.02
+        assert aware.makespan > 0 and naive.makespan > 0

@@ -1,0 +1,93 @@
+"""Tests for replaying offline schedules in the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import MatrixDegradationModel
+from repro.core.jobs import Workload, serial_job
+from repro.core.machine import DUAL_CORE_CLUSTER, QUAD_CORE_CLUSTER
+from repro.core.problem import CoSchedulingProblem
+from repro.core.schedule import CoSchedule
+from repro.sim.batch import compare_schedules, simulate_schedule
+from repro.solvers import OAStar, SequentialScheduler
+
+
+def make_problem(n=8, seed=0, cluster=QUAD_CORE_CLUSTER, scale=1.0):
+    jobs = [serial_job(i, f"j{i}") for i in range(n)]
+    wl = Workload(jobs, cores_per_machine=cluster.cores)
+    rng = np.random.default_rng(seed)
+    D = rng.uniform(0, scale, (wl.n, wl.n))
+    np.fill_diagonal(D, 0.0)
+    return CoSchedulingProblem(wl, cluster,
+                               MatrixDegradationModel(pairwise=D))
+
+
+class TestSimulateSchedule:
+    def test_zero_contention_means_unit_slowdowns(self):
+        problem = make_problem(scale=0.0)
+        sched = OAStar().solve(problem).schedule
+        res = simulate_schedule(problem, sched, works=[10.0] * 8)
+        for j in res.jobs:
+            assert j.slowdown == pytest.approx(1.0)
+        assert res.makespan == pytest.approx(10.0)
+
+    def test_constant_pair_contention_on_dual_core(self):
+        """Two equal-work processes with pairwise degradation d run at
+        1/(1+d) for their whole lives: makespan = work * (1 + d)."""
+        jobs = [serial_job(i, f"j{i}") for i in range(2)]
+        wl = Workload(jobs, cores_per_machine=2)
+        D = np.array([[0.0, 0.5], [0.5, 0.0]])
+        problem = CoSchedulingProblem(wl, DUAL_CORE_CLUSTER,
+                                      MatrixDegradationModel(pairwise=D))
+        sched = CoSchedule.from_groups([(0, 1)], u=2)
+        res = simulate_schedule(problem, sched, works=[8.0, 8.0])
+        assert res.makespan == pytest.approx(12.0)
+        assert res.slowdown_of("0") == pytest.approx(1.5)
+
+    def test_end_effect_relaxes_contention(self):
+        """A short co-runner leaving speeds the survivor up, so the measured
+        slowdown is below the full-occupancy prediction."""
+        jobs = [serial_job(i, f"j{i}") for i in range(2)]
+        wl = Workload(jobs, cores_per_machine=2)
+        D = np.array([[0.0, 1.0], [1.0, 0.0]])
+        problem = CoSchedulingProblem(wl, DUAL_CORE_CLUSTER,
+                                      MatrixDegradationModel(pairwise=D))
+        sched = CoSchedule.from_groups([(0, 1)], u=2)
+        res = simulate_schedule(problem, sched, works=[2.0, 20.0])
+        assert res.slowdown_of("1") < 1.0 + D[1, 0] - 1e-6
+        assert res.slowdown_of("0") == pytest.approx(2.0)
+
+    def test_imaginary_pads_vanish_instantly(self):
+        problem = make_problem(n=7)  # one pad on quad-core
+        sched = OAStar().solve(problem).schedule
+        res = simulate_schedule(problem, sched)
+        pad = res.slowdown_of("7")
+        assert res.makespan > 0
+        assert pad >= 1.0  # defined, but its work is negligible
+
+    def test_shape_mismatch(self):
+        problem = make_problem()
+        wrong = CoSchedule.from_groups([(0, 1), (2, 3)], u=2)
+        with pytest.raises(ValueError):
+            simulate_schedule(problem, wrong)
+        good = OAStar().solve(problem).schedule
+        with pytest.raises(ValueError, match="entries"):
+            simulate_schedule(problem, good, works=[1.0])
+
+
+class TestCompareSchedules:
+    def test_optimal_beats_sequential_on_measured_makespan(self):
+        problem = make_problem(seed=3)
+        opt = OAStar().solve(problem).schedule
+        problem.clear_caches()
+        seq = SequentialScheduler().solve(problem).schedule
+        report = compare_schedules(
+            problem, {"optimal": opt, "sequential": seq},
+            works=[10.0] * 8,
+        )
+        assert report["optimal"]["mean_slowdown"] <= (
+            report["sequential"]["mean_slowdown"] + 1e-9
+        )
+        assert set(report["optimal"]) == {
+            "makespan", "mean_slowdown", "max_slowdown",
+        }

@@ -1,0 +1,156 @@
+"""Tests for the program catalog, paper mixes and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.jobs import JobKind
+from repro.core.machine import QUAD_CORE
+from repro.workloads.catalog import (
+    CATALOG,
+    MPI_HALO_BYTES,
+    NPB_MPI,
+    NPB_SERIAL,
+    PE_PROGRAMS,
+    SPEC_SERIAL,
+    ProgramProfile,
+    get_profile,
+)
+from repro.workloads.mixes import (
+    FIG10_APPS,
+    FIG11_APPS,
+    TABLE1_SETS,
+    TABLE2_SETS,
+    mixed_parallel_serial,
+    pc_serial_mix,
+    pe_serial_mix,
+    serial_mix,
+)
+from repro.workloads.synthetic import (
+    random_asymmetric_instance,
+    random_interaction_instance,
+    random_mixed_instance,
+    random_profile_instance,
+    random_serial_instance,
+)
+
+
+class TestCatalog:
+    def test_expected_programs_present(self):
+        for name in ("BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA", "DC"):
+            assert name in CATALOG
+        for name in ("applu", "art", "ammp", "equake", "galgel", "vpr"):
+            assert name in CATALOG
+        for name in ("PI", "MMS", "RA", "EP-MPI", "MCM"):
+            assert name in CATALOG
+        for name in ("BT-Par", "CG-Par", "FT-Par", "LU-Par", "MG-Par", "SP-Par"):
+            assert name in CATALOG
+            assert name in MPI_HALO_BYTES
+
+    def test_get_profile_error_lists_names(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_profile("nope")
+
+    def test_memory_intensity_ordering(self):
+        """Calibration sanity: the paper's memory-hostile codes must be more
+        memory-intensive than the compute-bound ones on the quad machine."""
+        art = get_profile("art").memory_intensity(QUAD_CORE)
+        ra = get_profile("RA").memory_intensity(QUAD_CORE)
+        ep = get_profile("EP").memory_intensity(QUAD_CORE)
+        pi = get_profile("PI").memory_intensity(QUAD_CORE)
+        assert art > ep and ra > pi
+        assert art > 0.5 and ep < 0.3
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ProgramProfile("x", cpu_cycles=0, accesses=1, miss_rate=0.1,
+                           reuse_decay=0.5)
+        with pytest.raises(ValueError):
+            ProgramProfile("x", cpu_cycles=1, accesses=1, miss_rate=2.0,
+                           reuse_decay=0.5)
+
+    def test_derived_quantities(self):
+        p = get_profile("BT")
+        assert p.single_time(QUAD_CORE) > 0
+        assert 0 < p.access_rate(QUAD_CORE) < 1
+        assert p.single_misses() == pytest.approx(p.accesses * p.miss_rate)
+
+
+class TestMixes:
+    def test_table1_sets_sizes(self):
+        for n, names in TABLE1_SETS.items():
+            assert len(names) == n
+            assert len(set(names)) == n
+
+    def test_table2_sets_sizes(self):
+        for n, spec in TABLE2_SETS.items():
+            total = sum(k for _nm, k in spec["parallel"]) + len(spec["serial"])
+            assert total == n
+
+    def test_serial_mix_shapes(self):
+        p = serial_mix(TABLE1_SETS[8], cluster="quad")
+        assert p.n == 8 and p.u == 4
+
+    def test_mixed_parallel_serial_has_pc_jobs(self):
+        p = mixed_parallel_serial(12, cluster="dual")
+        kinds = [j.kind for j in p.workload.jobs]
+        assert kinds.count(JobKind.PC) == 2
+        assert p.comm is not None
+
+    def test_treat_pc_as_pe_drops_comm(self):
+        p = mixed_parallel_serial(8, cluster="dual", treat_pc_as_pe=True)
+        assert p.comm is None
+
+    def test_pe_mix_shapes(self):
+        p = pe_serial_mix(procs_per_job=3, cluster="quad")
+        assert p.n == 4 * 3 + 4
+        assert all(
+            j.kind in (JobKind.PE, JobKind.SERIAL) for j in p.workload.jobs
+        )
+
+    def test_pc_mix_shapes(self):
+        p = pc_serial_mix(procs_per_job=3, cluster="quad")
+        assert p.n == 4 * 3 + 4
+        assert p.comm is not None
+
+    def test_fig_app_lists(self):
+        assert len(FIG10_APPS) == 12
+        assert len(FIG11_APPS) == 16
+
+
+class TestSyntheticGenerators:
+    def test_serial_instance_determinism(self):
+        a = random_serial_instance(10, seed=7)
+        b = random_serial_instance(10, seed=7)
+        assert np.array_equal(a.model.miss_rates, b.model.miss_rates)
+
+    def test_serial_instance_rate_range(self):
+        p = random_serial_instance(50, cluster="quad", seed=0)
+        real = p.model.miss_rates[: p.workload.n_real]
+        assert (real >= 0.15).all() and (real <= 0.75).all()
+
+    def test_padding_has_zero_pressure(self):
+        p = random_serial_instance(9, cluster="quad", seed=0)
+        assert p.n == 12
+        assert (p.model.miss_rates[9:] == 0.0).all()
+
+    def test_asymmetric_instance(self):
+        p = random_asymmetric_instance(8, seed=1)
+        assert p.model.s.shape == (8,)
+        assert not p.model.is_member_monotone()
+
+    def test_interaction_instance_padding_inert(self):
+        p = random_interaction_instance(9, cluster="dual", seed=0)
+        D = p.model.pairwise
+        assert (D[9:, :] == 0).all() and (D[:, 9:] == 0).all()
+
+    def test_profile_instance(self):
+        p = random_profile_instance(6, cluster="dual", seed=0)
+        assert p.n == 6
+        assert p.degradation(0, frozenset({1})) >= 0.0
+
+    def test_mixed_instance_shapes(self):
+        p = random_mixed_instance(3, pe_shapes=(2,), pc_shapes=(3,),
+                                  cluster="quad", seed=0)
+        assert p.n == 8
+        kinds = [j.kind for j in p.workload.jobs]
+        assert JobKind.PE in kinds and JobKind.PC in kinds
