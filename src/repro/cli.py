@@ -67,6 +67,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         return 2
     problem = serial_mix(args.apps, cluster=args.cluster)
     solver = SOLVERS[args.solver]()
+    if getattr(args, "workers", 1) > 1 and hasattr(solver, "parallel_workers"):
+        solver.parallel_workers = args.workers
     result = solver.solve(problem)
     print(result.schedule.pretty(problem.workload))
     print(f"\nsolver: {result.solver}   time: {result.time_seconds:.4f}s")
@@ -77,6 +79,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
     for jid, d in sorted(result.evaluation.job_degradations.items()):
         print(f"  {problem.workload.jobs[jid].name:10s} {d:.4f}")
+    if args.profile:
+        print()
+        print(problem.counters.report())
+        solver_stats = {k: v for k, v in result.stats.items() if k != "profile"}
+        if solver_stats:
+            print(f"  solver stats: {solver_stats}")
     return 0
 
 
@@ -161,6 +169,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--cluster", default="quad",
                          choices=("dual", "quad", "eight"))
     p_solve.add_argument("--solver", default="oastar", choices=tuple(SOLVERS))
+    p_solve.add_argument(
+        "--profile", action="store_true",
+        help="print weight-kernel batch sizes, memo hits, heap ops and "
+             "per-phase wall time after solving",
+    )
+    p_solve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="score expansion levels on N worker processes "
+             "(search-based solvers only; 1 = in-process)",
+    )
     p_solve.set_defaults(func=_cmd_solve)
 
     p_graph = sub.add_parser(

@@ -53,6 +53,39 @@ class CacheDegradationModel(abc.ABC):
     def single_time(self, pid: int) -> float:
         """Single-run execution time ``ct_pid`` in seconds, > 0."""
 
+    def supports_batch(self) -> bool:
+        """True when :meth:`node_weights_batch` is vectorized (one NumPy
+        kernel per call) rather than the generic scalar loop — the signal
+        the graph layers use to decide whether chunked batch scoring is
+        worth routing weights through."""
+        return False
+
+    def node_weights_batch(self, nodes) -> np.ndarray:
+        """Cache-contention node weights ``Σ_i d_{i, T∖i}`` for many nodes.
+
+        ``nodes`` is an ``(N, u)`` array-like of process ids (each row one
+        node; row order within a node is irrelevant).  Returns a length-N
+        float array matching the scalar ``cache_degradation`` sum to
+        floating-point round-off.  This generic implementation loops;
+        vectorized overrides exist on :class:`MissRatePressureModel`,
+        :class:`MatrixDegradationModel` (pairwise tables) and
+        :class:`AsymmetricContentionModel`.
+        """
+        nodes = np.asarray(nodes, dtype=np.intp)
+        if nodes.ndim != 2:
+            raise ValueError("nodes must be a 2-D (N, u) array of pids")
+        out = np.empty(len(nodes), dtype=float)
+        for r in range(len(nodes)):
+            members = frozenset(int(p) for p in nodes[r])
+            out[r] = sum(
+                self.cache_degradation(pid, members - {pid}) for pid in members
+            )
+        return out
+
+    def clear_caches(self) -> None:
+        """Drop internal memo state so a mutated model can't serve stale
+        values.  Default: stateless models have nothing to clear."""
+
     def is_member_monotone(self) -> bool:
         """True if replacing a coset member with a higher-pressure process
         never decreases any degradation — enables lazy sorted level
@@ -171,6 +204,12 @@ class SDCDegradationModel(CacheDegradationModel):
     def interchangeable_key(self, pid: int):
         # Processes sharing a program profile are exact substitutes.
         return ("profile", self._pid_profile[pid])
+
+    def clear_caches(self) -> None:
+        self._cache.clear()
+        self._single_times.clear()
+        self._sdp_cache.clear()
+        self._rate_cache.clear()
 
     def cache_degradation(self, pid: int, coset: FrozenSet[int]) -> float:
         me = self._pid_profile[pid]
@@ -312,6 +351,22 @@ class MatrixDegradationModel(CacheDegradationModel):
                 if j != i:
                     total += row[j]
         return float(total)
+
+    def supports_batch(self) -> bool:
+        # Exact overrides are keyed by frozenset and may undercut or exceed
+        # the pairwise sum per node, so only pure pairwise tables vectorize.
+        return self.pairwise is not None and not self.exact
+
+    def node_weights_batch(self, nodes) -> np.ndarray:
+        if not self.supports_batch():
+            return super().node_weights_batch(nodes)
+        nodes = np.asarray(nodes, dtype=np.intp)
+        if nodes.ndim != 2:
+            raise ValueError("nodes must be a 2-D (N, u) array of pids")
+        # Gather each node's u×u pairwise block; the node weight is its sum
+        # minus the self-interaction diagonal.
+        sub = self.pairwise[nodes[:, :, None], nodes[:, None, :]]
+        return sub.sum(axis=(1, 2)) - np.einsum("nii->n", sub)
 
     @classmethod
     def random_interaction(
@@ -471,6 +526,27 @@ class MissRatePressureModel(CacheDegradationModel):
             return float(self.kappa * (s * s - sum(v * v for v in vals)))
         return float(self.kappa * sum(v * self.phi(s - v) for v in vals))
 
+    def supports_batch(self) -> bool:
+        return True
+
+    def node_weights_batch(self, nodes) -> np.ndarray:
+        """Vectorized node weights: one gather + reduction for N nodes.
+
+        ``Σ_i m_i κ φ(S − m_i)`` with ``S`` the row pressure sum — the batch
+        form of :meth:`node_weight_fast`.
+        """
+        nodes = np.asarray(nodes, dtype=np.intp)
+        if nodes.ndim != 2:
+            raise ValueError("nodes must be a 2-D (N, u) array of pids")
+        m = self.miss_rates[nodes]
+        others = m.sum(axis=1, keepdims=True) - m
+        if self.saturation is None:
+            resp = others
+        else:
+            s = self.saturation
+            resp = s * (1.0 - np.exp(-others / s))
+        return self.kappa * np.einsum("nu,nu->n", m, resp)
+
 
 class AsymmetricContentionModel(CacheDegradationModel):
     """Synthetic model with decoupled sensitivity and aggressiveness.
@@ -590,3 +666,21 @@ class AsymmetricContentionModel(CacheDegradationModel):
         return float(
             self.kappa * sum(self.s[i] * self.phi(A - self.a[i]) for i in members)
         )
+
+    def supports_batch(self) -> bool:
+        return True
+
+    def node_weights_batch(self, nodes) -> np.ndarray:
+        """Vectorized ``Σ_i s_i κ φ(A_T − a_i)`` over N nodes at once."""
+        nodes = np.asarray(nodes, dtype=np.intp)
+        if nodes.ndim != 2:
+            raise ValueError("nodes must be a 2-D (N, u) array of pids")
+        s_m = self.s[nodes]
+        a_m = self.a[nodes]
+        others = a_m.sum(axis=1, keepdims=True) - a_m
+        if self.saturation is None:
+            resp = others
+        else:
+            sat = self.saturation
+            resp = sat * (1.0 - np.exp(-others / sat))
+        return self.kappa * np.einsum("nu,nu->n", s_m, resp)

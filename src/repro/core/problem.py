@@ -15,9 +15,12 @@ so solvers can share one problem instance.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..comm.model import CommunicationModel
+from ..perf.counters import PerfCounters
 from .degradation import CacheDegradationModel
 from .jobs import JobKind, Workload
 from .machine import ClusterSpec
@@ -69,6 +72,9 @@ class CoSchedulingProblem:
         self._node_cache: Dict[Tuple[int, ...], float] = {}
         self._extra_cache: Dict[Tuple[int, ...], float] = {}
         self.stats = {"degradation_evals": 0, "node_evals": 0}
+        #: Performance instrumentation shared by every layer touching this
+        #: problem (weight kernels, successor generation, search phases).
+        self.counters = PerfCounters()
 
     # ------------------------------------------------------------------ #
 
@@ -115,11 +121,84 @@ class CoSchedulingProblem:
         if hit is not None:
             return hit
         self.stats["node_evals"] += 1
+        self.counters.incr("node_weight_scalar")
         members = frozenset(key)
         w = sum(self.degradation(pid, members - {pid}) for pid in key)
         w += self.extra_cost(key)
         self._node_cache[key] = w
         return w
+
+    def supports_batch_weights(self) -> bool:
+        """True when :meth:`node_weights_batch` runs the model's vectorized
+        kernel.  Requires a batch-capable model and no communication model —
+        Eq. 9's per-pid communication terms stay on the scalar path — and no
+        imaginary padding (the scalar path filters imaginary co-runners,
+        which the model kernels don't see)."""
+        return (
+            self.comm is None
+            and self.workload.n_imaginary == 0
+            and self.model.supports_batch()
+        )
+
+    def node_weights_batch(
+        self,
+        nodes: Sequence[Tuple[int, ...]],
+        memo: bool = True,
+    ) -> np.ndarray:
+        """Node weights for many nodes at once.
+
+        Agrees with :meth:`node_weight` to floating-point round-off on every
+        node.  When :meth:`supports_batch_weights` holds, misses are scored
+        by one call to the model's vectorized ``node_weights_batch`` kernel;
+        otherwise each miss falls back to the scalar path.  ``memo=True``
+        (default) consults and fills the node-weight memo — pass ``False``
+        for huge throw-away frontiers where dict traffic outweighs reuse.
+
+        ``nodes`` rows must be sorted pid tuples (every enumerator in
+        :mod:`repro.graph` produces them sorted); unsorted rows would only
+        fragment the memo, not change the weights.
+        """
+        nodes = list(nodes)
+        out = np.empty(len(nodes), dtype=float)
+        if not self.supports_batch_weights():
+            for r, node in enumerate(nodes):
+                out[r] = self.node_weight(node)
+            self.counters.observe_batch("node_weights_scalar_fallback", len(nodes))
+            return out
+        if memo:
+            miss_rows: list = []
+            miss_idx: list = []
+            cache = self._node_cache
+            for r, node in enumerate(nodes):
+                hit = cache.get(node)
+                if hit is None:
+                    miss_idx.append(r)
+                    miss_rows.append(node)
+                else:
+                    out[r] = hit
+            self.counters.incr("node_memo_hits", len(nodes) - len(miss_rows))
+        else:
+            miss_rows = nodes
+            miss_idx = list(range(len(nodes)))
+        if miss_rows:
+            w = self.model.node_weights_batch(
+                np.asarray(miss_rows, dtype=np.intp)
+            )
+            if self.node_extra_cost is not None:
+                w = w + np.asarray(
+                    [self.extra_cost(node) for node in miss_rows], dtype=float
+                )
+            self.stats["node_evals"] += len(miss_rows)
+            self.counters.incr("node_weight_batched", len(miss_rows))
+            if memo:
+                for r, node, wv in zip(miss_idx, miss_rows, w):
+                    val = float(wv)
+                    out[r] = val
+                    cache[node] = val
+            else:
+                out[miss_idx] = w
+        self.counters.observe_batch("node_weights_batch", len(nodes))
+        return out
 
     def extra_cost(self, node: Tuple[int, ...]) -> float:
         """Node-level extra cost (0 unless an extension installs one)."""
@@ -191,7 +270,13 @@ class CoSchedulingProblem:
         return job.job_id
 
     def clear_caches(self) -> None:
+        """Drop every memo layer: the problem-level dicts AND the
+        degradation model's internal caches (via the model's own
+        ``clear_caches`` hook), so repeated solves on a mutated model can't
+        serve stale values."""
         self._deg_cache.clear()
         self._node_cache.clear()
         self._extra_cache.clear()
+        self.model.clear_caches()
         self.stats = {"degradation_evals": 0, "node_evals": 0}
+        self.counters.reset()

@@ -28,10 +28,13 @@ import itertools
 import math
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..comm.properties import node_condensation_key
 from ..core.degradation import MissRatePressureModel
 from ..core.jobs import JobKind
 from ..core.problem import CoSchedulingProblem
+from ..perf.parallel_expand import ParallelLevelScorer
 from .subset_enum import iter_subsets_monotone
 
 __all__ = ["SuccessorGenerator", "HeuristicEstimator"]
@@ -85,12 +88,16 @@ class SuccessorGenerator:
         condense_pc: bool = False,
         lazy_threshold: int = 512,
         presort_limit: int = 300_000,
+        parallel_workers: Optional[int] = None,
+        parallel_threshold: int = 8192,
+        parallel_chunk: int = 4096,
     ):
         self.problem = problem
         self.condense_pe = condense_pe
         self.condense_pc = condense_pc
         self.lazy_threshold = lazy_threshold
         self.presort_limit = presort_limit
+        self.parallel_threshold = parallel_threshold
         wl = problem.workload
         self._kind: List[JobKind] = [wl.kind_of(pid) for pid in wl.iter_pids()]
         self._job_id: List[int] = [
@@ -126,18 +133,56 @@ class SuccessorGenerator:
         )
         self._levels_sorted: Optional[List[List[Tuple[float, Tuple[int, ...]]]]] = None
         self.stats = {"generated": 0, "condensed_away": 0}
+        # Opt-in multiprocessing MER scoring: only pays off when the model
+        # kernel is vectorized and levels are big enough to amortize pickles.
+        self._scorer: Optional[ParallelLevelScorer] = None
+        if (
+            parallel_workers is not None
+            and parallel_workers > 1
+            and problem.supports_batch_weights()
+        ):
+            self._scorer = ParallelLevelScorer(
+                problem.model, parallel_workers, chunk=parallel_chunk
+            )
+
+    def close(self) -> None:
+        """Release the parallel scoring pool, if one was started."""
+        if self._scorer is not None:
+            self._scorer.close()
+
+    def _score_nodes(self, nodes: List[Tuple[int, ...]]) -> List[float]:
+        """Weights for already-enumerated nodes, one kernel call per chunk.
+
+        Routes through the problem's memoized batch evaluator; levels past
+        ``parallel_threshold`` go to the worker pool instead (bypassing the
+        memo — frontiers that large are throw-away).
+        """
+        if (
+            self._scorer is not None
+            and len(nodes) >= self.parallel_threshold
+            and self.problem.node_extra_cost is None
+        ):
+            weights = self._scorer.score(np.asarray(nodes, dtype=np.intp))
+            self.problem.counters.observe_batch("parallel_level_score", len(nodes))
+            return weights.tolist()
+        return self.problem.node_weights_batch(nodes).tolist()
 
     def _ensure_presorted(self) -> None:
         if self._levels_sorted is not None:
             return
         n, u = self.problem.n, self.problem.u
-        node_weight = self.problem.node_weight
         levels: List[List[Tuple[float, Tuple[int, ...]]]] = []
+        batch_ok = self.problem.supports_batch_weights()
         for L in range(n - u + 1):
-            entries = [
-                (node_weight((L,) + combo), (L,) + combo)
+            nodes = [
+                (L,) + combo
                 for combo in itertools.combinations(range(L + 1, n), u - 1)
             ]
+            if batch_ok:
+                weights = self._score_nodes(nodes)
+            else:
+                weights = [self.problem.node_weight(nd) for nd in nodes]
+            entries = list(zip(weights, nodes))
             entries.sort()
             levels.append(entries)
         self._levels_sorted = levels
@@ -228,7 +273,6 @@ class SuccessorGenerator:
             self.stats["generated"] += len(out)
             return out
 
-        out: List[Tuple[Tuple[int, ...], float]] = []
         seen_keys = set()
         if self._has_parallel and (self.condense_pe or self.condense_pc):
             combos: Iterator[Tuple[int, ...]] = _iter_group_combinations(
@@ -236,8 +280,8 @@ class SuccessorGenerator:
             )
         else:
             combos = itertools.combinations(rest, k)
-        node_weight = self.problem.node_weight
         wl = self.problem.workload
+        nodes: List[Tuple[int, ...]] = []
         for combo in combos:
             # combos are ascending and level_pid is the smallest unscheduled
             # pid, so the concatenation is already in node-id order.
@@ -248,7 +292,16 @@ class SuccessorGenerator:
                     self.stats["condensed_away"] += 1
                     continue
                 seen_keys.add(key)
-            out.append((node, node_weight(node)))
+            nodes.append(node)
+        # Score the whole surviving level at once: one batch-kernel call
+        # (chunked to workers at scale) instead of one Python weight
+        # evaluation per node.
+        if self.problem.supports_batch_weights():
+            weights = self._score_nodes(nodes)
+        else:
+            node_weight = self.problem.node_weight
+            weights = [node_weight(nd) for nd in nodes]
+        out: List[Tuple[Tuple[int, ...], float]] = list(zip(nodes, weights))
         self.stats["generated"] += len(out)
         if limit is not None and limit < len(out):
             out = heapq.nsmallest(limit, out, key=lambda t: (t[1], t[0]))
@@ -300,9 +353,35 @@ class SuccessorGenerator:
         else:  # pragma: no cover - no other monotone model shipped
             def weight(sub: Tuple[int, ...]) -> float:
                 return self.problem.node_weight((level_pid,) + sub)
-        for sub, w in iter_subsets_monotone(rest, k, weight, model.pressure):
+        weight_batch = self._make_weight_batch(level_pid, k)
+        for sub, w in iter_subsets_monotone(rest, k, weight, model.pressure,
+                                            weight_batch=weight_batch):
             self.stats["generated"] += 1
             yield (tuple(sorted((level_pid,) + sub)), w)
+
+    def _make_weight_batch(self, level_pid: int, k: int):
+        """Child-frontier scoring closure for the lazy heap enumerator.
+
+        Maps a batch of (u-1)-subsets to full nodes and runs ONE vectorized
+        model-kernel call; None when the model has no vectorized kernel
+        (the enumerator then falls back to scalar ``weight`` calls).
+        Bypasses the problem memo — lazy frontiers are throw-away — which
+        also means extra node costs must be absent, matching the existing
+        ``node_weight_fast`` streaming contract.
+        """
+        model = self.problem.model
+        if not model.supports_batch():
+            return None
+        counters = self.problem.counters
+
+        def weight_batch(subs: List[Tuple[int, ...]]) -> np.ndarray:
+            arr = np.empty((len(subs), k + 1), dtype=np.intp)
+            arr[:, 0] = level_pid
+            arr[:, 1:] = subs
+            counters.observe_batch("lazy_frontier", len(subs))
+            return model.node_weights_batch(arr)
+
+        return weight_batch
 
     def _successors_lazy(
         self, level_pid: int, rest: Tuple[int, ...], k: int, limit: int
@@ -322,9 +401,11 @@ class SuccessorGenerator:
         else:  # pragma: no cover - defensive
             def weight(sub: Tuple[int, ...]) -> float:
                 return self.problem.node_weight((level_pid,) + sub)
+        weight_batch = self._make_weight_batch(level_pid, k)
         take = limit if self._monotone_ok else 4 * limit
         out = []
-        for sub, w in iter_subsets_monotone(rest, k, weight, model.pressure):
+        for sub, w in iter_subsets_monotone(rest, k, weight, model.pressure,
+                                            weight_batch=weight_batch):
             out.append((tuple(sorted((level_pid,) + sub)), w))
             if len(out) >= take:
                 break
@@ -407,7 +488,8 @@ class HeuristicEstimator:
         self.level_mode = level_mode
 
         self._node_weights_sorted: Optional[List[Tuple[float, int]]] = None
-        self._level_min = self._compute_level_min()
+        with problem.counters.phase("heuristic_levels"):
+            self._level_min = self._compute_level_min()
         # suffix_min[L] = min over levels >= L (levels run 0..n-u).
         suffix = list(self._level_min)
         for L in range(len(suffix) - 2, -1, -1):
@@ -426,12 +508,31 @@ class HeuristicEstimator:
         if self.level_mode == "exact":
             level_min = [math.inf] * n_levels
             all_nodes: List[Tuple[float, int]] = []
+            # Serial-only workloads with no extra node cost have
+            # node_h_weight == node_weight for either h_parallel mode, so
+            # whole levels batch through the vectorized kernel (and the
+            # scored weights land in the problem memo for the search to
+            # reuse).
+            batch_ok = (
+                self._serial_only
+                and self.problem.supports_batch_weights()
+                and self.problem.node_extra_cost is None
+            )
             for L in range(n_levels):
-                for combo in itertools.combinations(range(L + 1, n), u - 1):
-                    w = self._h_node_weight((L,) + combo)
-                    all_nodes.append((w, L))
-                    if w < level_min[L]:
-                        level_min[L] = w
+                nodes = [
+                    (L,) + combo
+                    for combo in itertools.combinations(range(L + 1, n), u - 1)
+                ]
+                if batch_ok:
+                    weights = self.problem.node_weights_batch(nodes)
+                    level_min[L] = float(weights.min()) if len(weights) else math.inf
+                    all_nodes.extend((float(w), L) for w in weights)
+                else:
+                    for node in nodes:
+                        w = self._h_node_weight(node)
+                        all_nodes.append((w, L))
+                        if w < level_min[L]:
+                            level_min[L] = w
             all_nodes.sort()
             self._node_weights_sorted = all_nodes
             return level_min

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Iterator, List, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["iter_subsets_monotone", "iter_subsets_exact", "iter_subsets_by_weight"]
 
@@ -27,6 +27,7 @@ def iter_subsets_monotone(
     k: int,
     weight: Callable[[Tuple[int, ...]], float],
     rank_key: Callable[[int], float],
+    weight_batch: Optional[Callable[[List[Tuple[int, ...]]], Sequence[float]]] = None,
 ) -> Iterator[Tuple[Tuple[int, ...], float]]:
     """Yield k-subsets of ``items`` in non-decreasing ``weight`` order.
 
@@ -38,6 +39,11 @@ def iter_subsets_monotone(
     Yields ``(subset, weight)`` with subsets as tuples of items (in rank
     order).  Lazily explores only what is consumed: taking the first ``t``
     subsets costs ``O(t * k * log)`` heap operations.
+
+    ``weight_batch``, when given, scores each pop's child frontier (up to
+    ``k`` new subsets) with ONE call instead of ``k`` scalar ``weight``
+    calls — the hook the vectorized degradation kernels plug into.  It must
+    agree with ``weight`` on every subset.
     """
     n = len(items)
     if k < 0:
@@ -53,12 +59,17 @@ def iter_subsets_monotone(
         return tuple(ordered[i] for i in index_tuple)
 
     start = tuple(range(k))
-    heap: List[Tuple[float, Tuple[int, ...]]] = [(weight(subset_of(start)), start)]
+    if weight_batch is not None:
+        w0 = float(weight_batch([subset_of(start)])[0])
+    else:
+        w0 = weight(subset_of(start))
+    heap: List[Tuple[float, Tuple[int, ...]]] = [(w0, start)]
     seen = {start}
     while heap:
         w, idx = heapq.heappop(heap)
         yield (subset_of(idx), w)
         # Successors: advance any single index while keeping strict ascent.
+        frontier: List[Tuple[int, ...]] = []
         for j in range(k):
             nxt = idx[j] + 1
             if j + 1 < k and nxt >= idx[j + 1]:
@@ -69,7 +80,16 @@ def iter_subsets_monotone(
             if child in seen:
                 continue
             seen.add(child)
-            heapq.heappush(heap, (weight(subset_of(child)), child))
+            frontier.append(child)
+        if not frontier:
+            continue
+        if weight_batch is not None:
+            ws = weight_batch([subset_of(c) for c in frontier])
+            for child, cw in zip(frontier, ws):
+                heapq.heappush(heap, (float(cw), child))
+        else:
+            for child in frontier:
+                heapq.heappush(heap, (weight(subset_of(child)), child))
 
 
 def iter_subsets_exact(
@@ -98,10 +118,12 @@ def iter_subsets_by_weight(
     weight: Callable[[Tuple[int, ...]], float],
     rank_key: Callable[[int], float] | None = None,
     monotone: bool = False,
+    weight_batch: Optional[Callable[[List[Tuple[int, ...]]], Sequence[float]]] = None,
 ) -> Iterator[Tuple[Tuple[int, ...], float]]:
     """Dispatch: lazy heap enumeration when ``monotone``, else exact sort."""
     if monotone:
         if rank_key is None:
             raise ValueError("monotone enumeration requires rank_key")
-        return iter_subsets_monotone(items, k, weight, rank_key)
+        return iter_subsets_monotone(items, k, weight, rank_key,
+                                     weight_batch=weight_batch)
     return iter_subsets_exact(items, k, weight)

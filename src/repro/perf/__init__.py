@@ -1,0 +1,18 @@
+"""Performance layer: batch kernels plumbing, counters, parallel scoring.
+
+The batch weight kernels themselves live on the degradation models
+(:meth:`repro.core.degradation.CacheDegradationModel.node_weights_batch`) and
+the problem (:meth:`repro.core.problem.CoSchedulingProblem.node_weights_batch`)
+so every caller sees one interface; this package holds what surrounds them:
+
+* :class:`PerfCounters` — weight-evaluation / batch-size / memo-hit / heap
+  counters and per-phase wall time, surfaced via ``cosched solve --profile``
+  and ``SolveResult.stats["profile"]``;
+* :class:`ParallelLevelScorer` — opt-in multiprocessing map for HA*'s
+  per-level MER scoring at scale.
+"""
+
+from .counters import PerfCounters
+from .parallel_expand import ParallelLevelScorer
+
+__all__ = ["PerfCounters", "ParallelLevelScorer"]

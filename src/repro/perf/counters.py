@@ -1,0 +1,124 @@
+"""Lightweight performance instrumentation.
+
+:class:`PerfCounters` aggregates the cheap-to-record signals that explain
+where a solve spent its time: how many node weights were evaluated through
+the scalar path versus the batch kernels, the batch-size distribution (count
+/ total / max — individual sizes are never stored), memo hit rates, heap
+operations, and per-phase wall time.  A single instance hangs off every
+:class:`~repro.core.problem.CoSchedulingProblem` (``problem.counters``); the
+search layers record into it unconditionally because every operation is an
+O(1) dict update, orders of magnitude cheaper than the work being counted.
+
+The CLI surfaces a formatted report through ``cosched solve --profile``, and
+:class:`~repro.solvers.base.SolveResult` carries a snapshot in
+``stats["profile"]`` for programmatic use.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["PerfCounters"]
+
+
+class PerfCounters:
+    """Mutable counter bundle: named counts, batch stats, phase timings."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+        self._batches: Dict[str, list] = {}  # name -> [count, total, max]
+        self._phase_seconds: Dict[str, float] = defaultdict(float)
+
+    # ------------------------------------------------------------------ #
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def observe_batch(self, name: str, size: int) -> None:
+        """Record one batch of ``size`` items under ``name``."""
+        agg = self._batches.get(name)
+        if agg is None:
+            self._batches[name] = [1, size, size]
+        else:
+            agg[0] += 1
+            agg[1] += size
+            if size > agg[2]:
+                agg[2] = size
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate wall time spent inside the block under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._phase_seconds[name] += time.perf_counter() - t0
+
+    # ------------------------------------------------------------------ #
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def batch_stats(self, name: str) -> Dict[str, float]:
+        """``{"batches", "items", "max_size", "mean_size"}`` for one series."""
+        agg = self._batches.get(name)
+        if agg is None:
+            return {"batches": 0, "items": 0, "max_size": 0, "mean_size": 0.0}
+        count, total, largest = agg
+        return {
+            "batches": count,
+            "items": total,
+            "max_size": largest,
+            "mean_size": total / count if count else 0.0,
+        }
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another counter bundle into this one (e.g. worker results)."""
+        for name, amount in other._counts.items():
+            self._counts[name] += amount
+        for name, (count, total, largest) in other._batches.items():
+            agg = self._batches.setdefault(name, [0, 0, 0])
+            agg[0] += count
+            agg[1] += total
+            if largest > agg[2]:
+                agg[2] = largest
+        for name, seconds in other._phase_seconds.items():
+            self._phase_seconds[name] += seconds
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view, safe to stash in ``SolveResult.stats``."""
+        return {
+            "counts": dict(self._counts),
+            "batches": {name: self.batch_stats(name) for name in self._batches},
+            "phase_seconds": dict(self._phase_seconds),
+        }
+
+    def report(self) -> str:
+        """Human-readable multi-line summary (the ``--profile`` output)."""
+        lines = ["profile:"]
+        if self._phase_seconds:
+            lines.append("  phase wall time:")
+            for name in sorted(self._phase_seconds):
+                lines.append(f"    {name:<28s} {self._phase_seconds[name]:.4f}s")
+        if self._counts:
+            lines.append("  counters:")
+            for name in sorted(self._counts):
+                lines.append(f"    {name:<28s} {self._counts[name]}")
+        if self._batches:
+            lines.append("  batch kernels:")
+            for name in sorted(self._batches):
+                s = self.batch_stats(name)
+                lines.append(
+                    f"    {name:<28s} {s['batches']} batches / "
+                    f"{s['items']} items (mean {s['mean_size']:.1f}, "
+                    f"max {s['max_size']})"
+                )
+        if len(lines) == 1:
+            lines.append("  (no activity recorded)")
+        return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Opt-in multiprocessing level scoring.
+
+At HA*'s largest scales the per-level work is one embarrassingly parallel
+map: score every candidate node of the expansion level, keep the ``n/u``
+lightest (the MER rule).  :class:`ParallelLevelScorer` chunks a level's node
+array over a persistent worker pool; each worker holds a pickled copy of the
+degradation model (the same groundwork :mod:`repro.parallel.portfolio` relies
+on) and runs the vectorized ``node_weights_batch`` kernel on its chunk, so
+the parallelism multiplies the batch-kernel speedup instead of replacing it.
+
+Workers are spawned lazily on first use and live for the scorer's lifetime;
+call :meth:`ParallelLevelScorer.close` (the successor generator does) to
+release them.  Scoring falls back to in-process evaluation transparently if
+the pool cannot be created — the scorer is an accelerator, never a
+requirement.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+from typing import Optional
+
+import numpy as np
+
+from ..core.degradation import CacheDegradationModel
+
+__all__ = ["ParallelLevelScorer"]
+
+_WORKER_MODEL: Optional[CacheDegradationModel] = None
+
+
+def _init_worker(model: CacheDegradationModel) -> None:
+    global _WORKER_MODEL
+    _WORKER_MODEL = model
+
+
+def _score_chunk(nodes: np.ndarray) -> np.ndarray:
+    assert _WORKER_MODEL is not None
+    return _WORKER_MODEL.node_weights_batch(nodes)
+
+
+class ParallelLevelScorer:
+    """Score node arrays across a process pool.
+
+    Parameters
+    ----------
+    model:
+        Degradation model; must be picklable (every shipped model is).
+    workers:
+        Pool size (>= 1).  ``workers=1`` short-circuits to in-process
+        scoring with no pool at all.
+    chunk:
+        Rows per task.  Levels smaller than one chunk are scored in-process
+        — fork/pickle overhead only pays off on big levels.
+    """
+
+    def __init__(self, model: CacheDegradationModel, workers: int,
+                 chunk: int = 4096):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.model = model
+        self.workers = workers
+        self.chunk = chunk
+        self._pool: Optional[cf.ProcessPoolExecutor] = None
+        self._pool_broken = False
+        self.stats = {"parallel_batches": 0, "inline_batches": 0}
+
+    # ------------------------------------------------------------------ #
+
+    def _ensure_pool(self) -> Optional[cf.ProcessPoolExecutor]:
+        if self._pool is not None or self._pool_broken:
+            return self._pool
+        try:
+            self._pool = cf.ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.model,),
+            )
+        except (OSError, ValueError):  # pragma: no cover - platform-dependent
+            self._pool_broken = True
+            self._pool = None
+        return self._pool
+
+    def score(self, nodes: np.ndarray) -> np.ndarray:
+        """Weights for an ``(N, u)`` int array of nodes, preserving order."""
+        nodes = np.asarray(nodes, dtype=np.intp)
+        if (
+            self.workers == 1
+            or len(nodes) <= self.chunk
+            or self._pool_broken
+        ):
+            self.stats["inline_batches"] += 1
+            return self.model.node_weights_batch(nodes)
+        pool = self._ensure_pool()
+        if pool is None:  # pragma: no cover - pool creation failed
+            self.stats["inline_batches"] += 1
+            return self.model.node_weights_batch(nodes)
+        chunks = [
+            nodes[lo:lo + self.chunk] for lo in range(0, len(nodes), self.chunk)
+        ]
+        try:
+            parts = list(pool.map(_score_chunk, chunks))
+        except (cf.process.BrokenProcessPool, OSError):  # pragma: no cover
+            self._pool_broken = True
+            self.close()
+            self.stats["inline_batches"] += 1
+            return self.model.node_weights_batch(nodes)
+        self.stats["parallel_batches"] += 1
+        return np.concatenate(parts)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelLevelScorer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -120,6 +120,7 @@ class AStarSearch(Solver):
         partial_batch: int = 32,
         beam_width: Optional[int] = None,
         max_expansions: Optional[int] = None,
+        parallel_workers: Optional[int] = None,
     ):
         if h_strategy not in (0, 1, 2):
             raise ValueError("h_strategy must be 0, 1 or 2")
@@ -143,6 +144,11 @@ class AStarSearch(Solver):
             raise ValueError("beam_width must be >= 1")
         self.beam_width = beam_width
         self.max_expansions = max_expansions
+        if parallel_workers is not None and parallel_workers < 1:
+            raise ValueError("parallel_workers must be >= 1")
+        #: Opt-in multiprocessing level scoring (HA*'s MER levels at scale);
+        #: None/1 keeps everything in-process.
+        self.parallel_workers = parallel_workers
 
     # ------------------------------------------------------------------ #
 
@@ -158,10 +164,12 @@ class AStarSearch(Solver):
             for pid in range(n)
         ]
 
+        perf = problem.counters
         gen = SuccessorGenerator(
             problem,
             condense_pe=self.condense_pe,
             condense_pc=self.condense,
+            parallel_workers=self.parallel_workers,
         )
         estimator: Optional[HeuristicEstimator] = None
         if self.h_strategy in (1, 2):
@@ -198,17 +206,18 @@ class AStarSearch(Solver):
         job_floor = {jid: 0.0 for jid in par_jobs}
         floor_serial_total = 0.0
         if self.process_floor:
-            for pid in range(n):
-                dmin[pid] = problem.min_process_degradation(pid)
-                if kinds[pid] is JobKind.SERIAL:
-                    if not wl.is_imaginary(pid):
-                        floor_serial_total += dmin[pid]
-            for jid in par_jobs:
-                procs = wl.processes_of(jid)
-                # Any remaining process's floor bounds the job's final max
-                # from below; the min over the job's processes is safe for
-                # every non-empty remainder.
-                job_floor[jid] = min(dmin[p] for p in procs)
+            with perf.phase("process_floors"):
+                for pid in range(n):
+                    dmin[pid] = problem.min_process_degradation(pid)
+                    if kinds[pid] is JobKind.SERIAL:
+                        if not wl.is_imaginary(pid):
+                            floor_serial_total += dmin[pid]
+                for jid in par_jobs:
+                    procs = wl.processes_of(jid)
+                    # Any remaining process's floor bounds the job's final
+                    # max from below; the min over the job's processes is
+                    # safe for every non-empty remainder.
+                    job_floor[jid] = min(dmin[p] for p in procs)
 
         def h_floor(rec_floor_serial: float, par_max, par_remaining) -> float:
             total = rec_floor_serial
@@ -422,59 +431,70 @@ class AStarSearch(Solver):
                     h = max(h, h_matching(cand.unscheduled))
             return h
 
-        if self.beam_width is not None:
-            goal, expanded = self._beam_search(
-                root, gen, make_child, child_h, node_limit, counters
-            )
-        else:
-            # Best-first A* over the whole graph.
-            while heap:
-                _f, _tie, rec = heapq.heappop(heap)
-                if not rec.alive:
-                    continue
-                if not rec.unscheduled:
-                    goal = rec
-                    break
-                expanded += 1
-                if (
-                    self.max_expansions is not None
-                    and expanded > self.max_expansions
-                ):
-                    raise RuntimeError(
-                        f"{self.name}: exceeded "
-                        f"max_expansions={self.max_expansions}"
+        try:
+            with perf.phase("search"):
+                if self.beam_width is not None:
+                    goal, expanded = self._beam_search(
+                        root, gen, make_child, child_h, node_limit, counters
                     )
-
-                if partial:
-                    if rec.stream is None:
-                        rec.stream = gen.successors_stream(rec.unscheduled)
-                        rec.pending = next(rec.stream, None)
-                        rec.h_tail = estimator.h_tail(rec.unscheduled)
-                    batch_nodes = []
-                    while (
-                        rec.pending is not None
-                        and len(batch_nodes) < self.partial_batch
-                    ):
-                        batch_nodes.append(rec.pending)
-                        rec.pending = next(rec.stream, None)
-                    if rec.pending is not None:
-                        resumes += 1
-                        f_resume = rec.g + rec.pending[1] + rec.h_tail
-                        heapq.heappush(heap, (f_resume, next(counter), rec))
-                    successor_nodes = batch_nodes
                 else:
-                    successor_nodes = gen.successors(
-                        rec.unscheduled, limit=node_limit
-                    )
+                    # Best-first A* over the whole graph.
+                    while heap:
+                        _f, _tie, rec = heapq.heappop(heap)
+                        perf.incr("heap_pops")
+                        if not rec.alive:
+                            continue
+                        if not rec.unscheduled:
+                            goal = rec
+                            break
+                        expanded += 1
+                        if (
+                            self.max_expansions is not None
+                            and expanded > self.max_expansions
+                        ):
+                            raise RuntimeError(
+                                f"{self.name}: exceeded "
+                                f"max_expansions={self.max_expansions}"
+                            )
 
-                for node, node_w in successor_nodes:
-                    cand = make_child(rec, node, node_w)
-                    if cand is None:
-                        continue
-                    heapq.heappush(
-                        heap, (cand.g + child_h(cand), next(counter), cand)
-                    )
-                    counters["pushed"] += 1
+                        if partial:
+                            if rec.stream is None:
+                                rec.stream = gen.successors_stream(
+                                    rec.unscheduled
+                                )
+                                rec.pending = next(rec.stream, None)
+                                rec.h_tail = estimator.h_tail(rec.unscheduled)
+                            batch_nodes = []
+                            while (
+                                rec.pending is not None
+                                and len(batch_nodes) < self.partial_batch
+                            ):
+                                batch_nodes.append(rec.pending)
+                                rec.pending = next(rec.stream, None)
+                            if rec.pending is not None:
+                                resumes += 1
+                                f_resume = rec.g + rec.pending[1] + rec.h_tail
+                                heapq.heappush(
+                                    heap, (f_resume, next(counter), rec)
+                                )
+                            successor_nodes = batch_nodes
+                        else:
+                            successor_nodes = gen.successors(
+                                rec.unscheduled, limit=node_limit
+                            )
+
+                        for node, node_w in successor_nodes:
+                            cand = make_child(rec, node, node_w)
+                            if cand is None:
+                                continue
+                            heapq.heappush(
+                                heap,
+                                (cand.g + child_h(cand), next(counter), cand),
+                            )
+                            counters["pushed"] += 1
+        finally:
+            gen.close()
+        perf.incr("heap_pushes", counters["pushed"] + resumes)
         pushed = counters["pushed"]
         dismissed = counters["dismissed"]
 
@@ -484,7 +504,11 @@ class AStarSearch(Solver):
                 schedule=None,
                 objective=math.inf,
                 time_seconds=0.0,
-                stats={"expanded": expanded, "visited_paths": pushed},
+                stats={
+                    "expanded": expanded,
+                    "visited_paths": pushed,
+                    "profile": perf.snapshot(),
+                },
             )
 
         groups = []
@@ -513,6 +537,7 @@ class AStarSearch(Solver):
                 "condensed_away": gen.stats["condensed_away"],
                 "nodes_generated": gen.stats["generated"],
                 "partial_resumes": resumes,
+                "profile": perf.snapshot(),
             },
         )
 

@@ -177,3 +177,45 @@ class TestHeuristicAdmissibility:
             HeuristicEstimator(problem, variant="bogus")
         with pytest.raises(ValueError):
             HeuristicEstimator(problem, level_mode="bogus")
+
+
+class TestBatchScoredSuccessors:
+    def test_eager_batch_matches_scalar_reference(self):
+        problem = pressure_problem(12)
+        gen = SuccessorGenerator(problem)
+        unscheduled = tuple(range(12))
+        out = gen.successors(unscheduled)
+        for node, w in out:
+            assert w == pytest.approx(problem.node_weight(node), abs=1e-12)
+        assert len(out) == math.comb(11, 3)
+
+    def test_parallel_pool_successors_identical(self):
+        problem = pressure_problem(16)  # multiple of u: batch-capable
+        unscheduled = tuple(range(16))
+        reference = SuccessorGenerator(problem).successors(unscheduled)
+        problem.clear_caches()
+        gen = SuccessorGenerator(problem, parallel_workers=2,
+                                 parallel_threshold=8, parallel_chunk=64)
+        try:
+            pooled = gen.successors(unscheduled)
+        finally:
+            gen.close()
+        assert [nd for nd, _ in pooled] == [nd for nd, _ in reference]
+        ref_w = [w for _, w in reference]
+        pool_w = [w for _, w in pooled]
+        assert pool_w == pytest.approx(ref_w, abs=1e-12)
+        assert problem.counters.batch_stats("parallel_level_score")["batches"] >= 1
+
+    def test_presorted_levels_batch_matches(self):
+        # MatrixDegradationModel without pressure-free path -> presorted
+        # levels, now scored through the batch kernel.
+        model = MatrixDegradationModel.random_interaction(8, cores=2, seed=3)
+        jobs = [serial_job(i, f"j{i}") for i in range(8)]
+        wl = Workload(jobs, cores_per_machine=2)
+        problem = CoSchedulingProblem(wl, DUAL_CORE_CLUSTER, model)
+        gen = SuccessorGenerator(problem)
+        out = gen.successors(tuple(range(8)), sort=True)
+        weights = [w for _, w in out]
+        assert weights == sorted(weights)
+        for node, w in out:
+            assert w == pytest.approx(problem.node_weight(node), abs=1e-12)

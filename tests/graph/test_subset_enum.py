@@ -100,3 +100,114 @@ class TestDispatch:
     def test_dispatch_exact(self):
         out = list(iter_subsets_by_weight([0, 1], 1, lambda s: float(s[0])))
         assert out == [((0,), 0.0), ((1,), 1.0)]
+
+
+class TestDispatchEquivalence:
+    """The lazy path and the exact-sort fallback must be interchangeable:
+    same (subset, weight) prefixes wherever the monotone contract holds —
+    including nonlinear weights and ties — and same full coverage even on a
+    weight function that violates the contract."""
+
+    def test_identical_prefixes_on_saturating_weight(self):
+        # Concave (non-additive) weight: min-like saturation of the sum.
+        # Member-monotone, but far from the linear sums of the other tests.
+        vals = {i: 0.3 + 0.1 * i for i in range(7)}
+
+        def w(sub):
+            s = sum(vals[i] for i in sub)
+            return min(s, 1.2) + 0.25 * max(vals[i] for i in sub)
+
+        lazy = list(iter_subsets_by_weight(
+            list(range(7)), 3, w, rank_key=lambda i: vals[i], monotone=True))
+        exact = list(iter_subsets_by_weight(list(range(7)), 3, w))
+        assert lazy == exact
+
+    def test_identical_prefixes_on_ties(self):
+        # Heavy ties: only two distinct values, so most weights collide and
+        # ordering is decided by the tie-break.  Both paths must agree on
+        # every prefix, not just on the sorted weights.
+        vals = {0: 1.0, 1: 1.0, 2: 1.0, 3: 2.0, 4: 2.0, 5: 2.0}
+        w = sum_weight(vals)
+        lazy = list(iter_subsets_by_weight(
+            list(range(6)), 2, w, rank_key=lambda i: vals[i], monotone=True))
+        exact = list(iter_subsets_by_weight(list(range(6)), 2, w))
+        assert [wt for _s, wt in lazy] == [wt for _s, wt in exact]
+        for t in range(1, len(lazy) + 1):
+            assert {s for s, _ in lazy[:t]} == {s for s, _ in exact[:t]}, t
+
+    def test_constant_weight_full_tie(self):
+        w = lambda sub: 1.0  # noqa: E731 - every subset ties
+        lazy = list(iter_subsets_by_weight(
+            [0, 1, 2, 3], 2, w, rank_key=lambda i: i, monotone=True))
+        exact = list(iter_subsets_by_weight([0, 1, 2, 3], 2, w))
+        assert lazy == exact
+
+    def test_non_monotone_weight_same_coverage(self):
+        """Off-contract (a genuinely non-member-monotone weight): the lazy
+        path loses its ordering guarantee but must still enumerate every
+        subset exactly once with correct weights — the exact fallback is
+        the sorted reference."""
+        def w(sub):
+            return float((sum(sub) * 7919) % 13)
+
+        items = list(range(8))
+        lazy = list(iter_subsets_by_weight(
+            items, 3, w, rank_key=lambda i: i, monotone=True))
+        exact = list(iter_subsets_by_weight(items, 3, w))
+        assert len(lazy) == len(exact) == math.comb(8, 3)
+        assert sorted(lazy, key=lambda t: (t[1], t[0])) == exact
+        ew = [wt for _s, wt in exact]
+        assert ew == sorted(ew)
+
+
+class TestWeightBatch:
+    """The weight_batch hook must be a pure accelerator: identical output,
+    fewer calls."""
+
+    def test_batch_matches_scalar_sequence(self):
+        vals = {i: 0.15 + 0.07 * i for i in range(9)}
+        w = sum_weight(vals)
+
+        def wb(subs):
+            return [w(s) for s in subs]
+
+        plain = list(iter_subsets_monotone(
+            list(range(9)), 3, w, rank_key=lambda i: vals[i]))
+        batched = list(iter_subsets_monotone(
+            list(range(9)), 3, w, rank_key=lambda i: vals[i],
+            weight_batch=wb))
+        assert plain == batched
+
+    def test_batch_called_once_per_frontier(self):
+        calls = {"n": 0, "sizes": []}
+        vals = list(range(10))
+        w = sum_weight(dict(enumerate(vals)))
+
+        def wb(subs):
+            calls["n"] += 1
+            calls["sizes"].append(len(subs))
+            return [w(s) for s in subs]
+
+        it = iter_subsets_monotone(list(range(10)), 4, w,
+                                   rank_key=lambda i: vals[i],
+                                   weight_batch=wb)
+        for _ in range(6):
+            next(it)
+        # One call for the start subset plus at most one per pop.
+        assert calls["n"] <= 1 + 6
+        assert all(1 <= s <= 4 for s in calls["sizes"])
+        assert any(s > 1 for s in calls["sizes"])
+
+    def test_dispatch_forwards_weight_batch(self):
+        seen = {"called": False}
+        w = sum_weight({0: 1.0, 1: 2.0, 2: 3.0})
+
+        def wb(subs):
+            seen["called"] = True
+            return [w(s) for s in subs]
+
+        out = list(iter_subsets_by_weight(
+            [0, 1, 2], 2, w, rank_key=lambda i: i, monotone=True,
+            weight_batch=wb))
+        assert seen["called"]
+        assert [s for s, _ in out] == [(0, 1), (0, 2), (1, 2)]

@@ -1,0 +1,99 @@
+"""Tests for the PerfCounters instrumentation bundle."""
+
+import time
+
+from repro.perf import PerfCounters
+
+
+class TestCounts:
+    def test_incr_and_count(self):
+        c = PerfCounters()
+        c.incr("evals")
+        c.incr("evals", 4)
+        assert c.count("evals") == 5
+        assert c.count("missing") == 0
+
+    def test_reset(self):
+        c = PerfCounters()
+        c.incr("x")
+        c.observe_batch("b", 10)
+        c.reset()
+        assert c.count("x") == 0
+        assert c.batch_stats("b")["batches"] == 0
+
+
+class TestBatches:
+    def test_batch_aggregation(self):
+        c = PerfCounters()
+        for size in (4, 16, 8):
+            c.observe_batch("kernel", size)
+        stats = c.batch_stats("kernel")
+        assert stats["batches"] == 3
+        assert stats["items"] == 28
+        assert stats["max_size"] == 16
+        assert stats["mean_size"] == 28 / 3
+
+    def test_unknown_series_is_empty(self):
+        assert PerfCounters().batch_stats("nope") == {
+            "batches": 0, "items": 0, "max_size": 0, "mean_size": 0.0,
+        }
+
+
+class TestPhases:
+    def test_phase_accumulates_wall_time(self):
+        c = PerfCounters()
+        with c.phase("work"):
+            time.sleep(0.01)
+        with c.phase("work"):
+            time.sleep(0.01)
+        snap = c.snapshot()
+        assert snap["phase_seconds"]["work"] >= 0.02
+
+    def test_phase_records_on_exception(self):
+        c = PerfCounters()
+        try:
+            with c.phase("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "boom" in c.snapshot()["phase_seconds"]
+
+
+class TestMergeAndReport:
+    def test_merge(self):
+        a, b = PerfCounters(), PerfCounters()
+        a.incr("n", 2)
+        b.incr("n", 3)
+        a.observe_batch("k", 5)
+        b.observe_batch("k", 9)
+        with b.phase("p"):
+            pass
+        a.merge(b)
+        assert a.count("n") == 5
+        stats = a.batch_stats("k")
+        assert stats["batches"] == 2 and stats["max_size"] == 9
+        assert "p" in a.snapshot()["phase_seconds"]
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        c = PerfCounters()
+        c.incr("a")
+        c.observe_batch("b", 2)
+        with c.phase("c"):
+            pass
+        json.dumps(c.snapshot())  # must be JSON-serializable
+
+    def test_report_mentions_everything(self):
+        c = PerfCounters()
+        c.incr("scalar_evals", 7)
+        c.observe_batch("kernel", 128)
+        with c.phase("search"):
+            pass
+        text = c.report()
+        assert "scalar_evals" in text
+        assert "kernel" in text and "128" in text
+        assert "search" in text
+
+    def test_report_empty(self):
+        assert "no activity" in PerfCounters().report()

@@ -1,0 +1,65 @@
+"""Tests for the multiprocessing level scorer."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import MissRatePressureModel
+from repro.perf import ParallelLevelScorer
+
+
+def model_and_nodes(n=24, u=4, seed=0):
+    model = MissRatePressureModel.random(n, cores=u, seed=seed)
+    nodes = np.array(list(itertools.combinations(range(n), u))[:3000],
+                     dtype=np.intp)
+    return model, nodes
+
+
+class TestValidation:
+    def test_rejects_bad_workers(self):
+        model, _ = model_and_nodes()
+        with pytest.raises(ValueError):
+            ParallelLevelScorer(model, workers=0)
+
+    def test_rejects_bad_chunk(self):
+        model, _ = model_and_nodes()
+        with pytest.raises(ValueError):
+            ParallelLevelScorer(model, workers=2, chunk=0)
+
+
+class TestInlinePaths:
+    def test_single_worker_scores_inline(self):
+        model, nodes = model_and_nodes()
+        with ParallelLevelScorer(model, workers=1) as scorer:
+            out = scorer.score(nodes)
+        np.testing.assert_allclose(out, model.node_weights_batch(nodes))
+        assert scorer.stats["inline_batches"] == 1
+        assert scorer.stats["parallel_batches"] == 0
+
+    def test_small_levels_stay_inline(self):
+        model, nodes = model_and_nodes()
+        scorer = ParallelLevelScorer(model, workers=2, chunk=100_000)
+        out = scorer.score(nodes)
+        np.testing.assert_allclose(out, model.node_weights_batch(nodes))
+        assert scorer.stats["parallel_batches"] == 0
+        scorer.close()
+
+
+class TestPoolPath:
+    def test_parallel_matches_inline_and_preserves_order(self):
+        model, nodes = model_and_nodes()
+        with ParallelLevelScorer(model, workers=2, chunk=512) as scorer:
+            out = scorer.score(nodes)
+            assert scorer.stats["parallel_batches"] == 1
+        np.testing.assert_allclose(out, model.node_weights_batch(nodes),
+                                   rtol=0, atol=1e-12)
+
+    def test_pool_reused_across_calls(self):
+        model, nodes = model_and_nodes()
+        with ParallelLevelScorer(model, workers=2, chunk=512) as scorer:
+            scorer.score(nodes)
+            pool = scorer._pool
+            scorer.score(nodes)
+            assert scorer._pool is pool
+        assert scorer._pool is None  # closed by the context manager

@@ -153,3 +153,32 @@ class TestInternalConsistency:
         for key in ("expanded", "visited_paths", "dismissed",
                     "nodes_generated"):
             assert key in r.stats
+
+
+class TestBatchAndParallelScoring:
+    def test_profile_snapshot_in_stats(self):
+        problem = random_serial_instance(12, cluster="quad", seed=21)
+        result = OAStar().solve(problem)
+        prof = result.stats["profile"]
+        assert "search" in prof["phase_seconds"]
+        assert "heuristic_levels" in prof["phase_seconds"]
+        assert prof["counts"].get("heap_pushes", 0) >= 1
+        # Batch kernels actually ran with multi-node batches.
+        batches = prof["batches"]
+        assert any(s["max_size"] > 1 for s in batches.values())
+
+    def test_parallel_workers_match_serial_result(self):
+        problem = random_serial_instance(16, cluster="quad", seed=22,
+                                         saturation=0.9)
+        from repro.solvers import HAStar
+
+        base = HAStar().solve(problem)
+        problem.clear_caches()
+        # Tiny threshold forces the pool path even at this test scale.
+        solver = HAStar(parallel_workers=2)
+        result = solver.solve(problem)
+        assert result.objective == pytest.approx(base.objective)
+
+    def test_parallel_workers_validation(self):
+        with pytest.raises(ValueError):
+            AStarSearch(parallel_workers=0)

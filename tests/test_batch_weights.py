@@ -1,0 +1,204 @@
+"""Batch weight kernels: agreement with the scalar path, memoization,
+fallbacks, and the cache-clearing hook."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import (
+    AsymmetricContentionModel,
+    MatrixDegradationModel,
+    MissRatePressureModel,
+    SDCDegradationModel,
+)
+from repro.core.jobs import Workload, serial_job
+from repro.core.machine import QUAD_CORE
+from repro.workloads.catalog import CATALOG
+from repro.workloads.mixes import serial_mix
+from repro.workloads.synthetic import (
+    random_asymmetric_instance,
+    random_interaction_instance,
+    random_serial_instance,
+)
+
+
+def random_nodes(n, u, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        tuple(sorted(rng.choice(n, size=u, replace=False)))
+        for _ in range(count)
+    ]
+
+
+def scalar_weights(model, nodes):
+    return np.array([
+        sum(model.cache_degradation(pid, frozenset(nd) - {pid}) for pid in nd)
+        for nd in nodes
+    ])
+
+
+class TestModelKernels:
+    @pytest.mark.parametrize("saturation", [None, 0.9])
+    def test_miss_rate_matches_scalar(self, saturation):
+        rng = np.random.default_rng(1)
+        model = MissRatePressureModel(
+            miss_rates=rng.uniform(0.15, 0.75, size=20),
+            cores=4, saturation=saturation,
+        )
+        nodes = random_nodes(20, 4, 200, seed=2)
+        batch = model.node_weights_batch(np.asarray(nodes))
+        np.testing.assert_allclose(batch, scalar_weights(model, nodes),
+                                   rtol=0, atol=1e-9)
+
+    @pytest.mark.parametrize("saturation", [None, 0.75])
+    def test_asymmetric_matches_scalar(self, saturation):
+        model = AsymmetricContentionModel.random(18, cores=4, seed=3,
+                                                 saturation=saturation)
+        nodes = random_nodes(18, 4, 150, seed=4)
+        batch = model.node_weights_batch(np.asarray(nodes))
+        np.testing.assert_allclose(batch, scalar_weights(model, nodes),
+                                   rtol=0, atol=1e-9)
+
+    def test_matrix_pairwise_matches_scalar(self):
+        model = MatrixDegradationModel.random_interaction(16, cores=4, seed=5)
+        nodes = random_nodes(16, 4, 150, seed=6)
+        batch = model.node_weights_batch(np.asarray(nodes))
+        np.testing.assert_allclose(batch, scalar_weights(model, nodes),
+                                   rtol=0, atol=1e-9)
+
+    def test_matrix_exact_overrides_fall_back(self):
+        """Tables with exact overrides must not vectorize past them."""
+        pairwise = np.ones((4, 4)) - np.eye(4)
+        exact = {(0, frozenset({1})): 7.5}
+        model = MatrixDegradationModel(pairwise=pairwise, exact=exact)
+        assert not model.supports_batch()
+        nodes = [(0, 1), (2, 3)]
+        batch = model.node_weights_batch(np.asarray(nodes))
+        np.testing.assert_allclose(batch, scalar_weights(model, nodes),
+                                   atol=1e-12)
+        assert batch[0] == pytest.approx(7.5 + 1.0)  # override + pairwise
+
+    def test_sdc_generic_fallback_matches_scalar(self):
+        jobs = [serial_job(i, n) for i, n in
+                enumerate(["BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"])]
+        wl = Workload(jobs, cores_per_machine=4)
+        model = SDCDegradationModel(wl, QUAD_CORE, CATALOG)
+        assert not model.supports_batch()
+        nodes = list(
+            (0,) + c for c in itertools.combinations(range(1, 8), 3)
+        )
+        batch = model.node_weights_batch(np.asarray(nodes))
+        np.testing.assert_allclose(batch, scalar_weights(model, nodes),
+                                   rtol=0, atol=1e-9)
+
+    def test_rejects_flat_input(self):
+        model = MissRatePressureModel(miss_rates=[0.2, 0.4, 0.6], cores=2)
+        with pytest.raises(ValueError):
+            model.node_weights_batch(np.array([0, 1, 2]))
+
+
+class TestProblemBatch:
+    @pytest.mark.parametrize("maker", [
+        random_serial_instance,
+        random_asymmetric_instance,
+        random_interaction_instance,
+    ])
+    def test_matches_node_weight(self, maker):
+        problem = maker(12, cluster="quad", seed=7)
+        assert problem.supports_batch_weights()
+        nodes = [
+            (0,) + c for c in itertools.combinations(range(1, 12), 3)
+        ]
+        batch = problem.node_weights_batch(nodes)
+        scalar = np.array([problem.node_weight(nd) for nd in nodes])
+        np.testing.assert_allclose(batch, scalar, rtol=0, atol=1e-9)
+
+    def test_memo_round_trip(self):
+        problem = random_serial_instance(12, cluster="quad", seed=8)
+        nodes = [(0, 1, 2, 3), (0, 1, 2, 4), (4, 5, 6, 7)]
+        first = problem.node_weights_batch(nodes)
+        assert problem.stats["node_evals"] == 3
+        again = problem.node_weights_batch(nodes)
+        np.testing.assert_array_equal(first, again)
+        # Second pass is pure memo hits — no new evaluations.
+        assert problem.stats["node_evals"] == 3
+        assert problem.counters.count("node_memo_hits") == 3
+        # And the scalar path sees the same memoized values.
+        for nd, w in zip(nodes, first):
+            assert problem.node_weight(nd) == w
+
+    def test_memo_false_skips_cache(self):
+        problem = random_serial_instance(12, cluster="quad", seed=8)
+        nodes = [(0, 1, 2, 3), (4, 5, 6, 7)]
+        problem.node_weights_batch(nodes, memo=False)
+        assert problem._node_cache == {}
+
+    def test_imaginary_padding_uses_scalar_fallback(self):
+        # 10 processes on quad-core machines -> 2 imaginary pads.
+        problem = random_serial_instance(10, cluster="quad", seed=9)
+        assert problem.workload.n_imaginary == 2
+        assert not problem.supports_batch_weights()
+        n = problem.n
+        nodes = [
+            (0,) + c for c in itertools.combinations(range(1, n), 3)
+        ][:50]
+        batch = problem.node_weights_batch(nodes)
+        scalar = np.array([problem.node_weight(nd) for nd in nodes])
+        np.testing.assert_allclose(batch, scalar, rtol=0, atol=1e-12)
+
+    def test_extra_cost_included(self):
+        problem = random_serial_instance(8, cluster="quad", seed=10)
+        problem.node_extra_cost = lambda node: 0.25 * node[0]
+        problem.clear_caches()
+        nodes = [(0, 1, 2, 3), (1, 2, 3, 4)]
+        batch = problem.node_weights_batch(nodes)
+        scalar = np.array([problem.node_weight(nd) for nd in nodes])
+        np.testing.assert_allclose(batch, scalar, rtol=0, atol=1e-12)
+
+    def test_comm_model_uses_scalar_fallback(self):
+        from repro.workloads.mixes import pc_serial_mix
+
+        problem = pc_serial_mix(cluster="quad")
+        assert not problem.supports_batch_weights()
+        nodes = [tuple(range(problem.u))]
+        batch = problem.node_weights_batch(nodes)
+        assert batch[0] == pytest.approx(problem.node_weight(nodes[0]))
+
+
+class TestClearCaches:
+    def test_problem_clear_reaches_model_caches(self):
+        problem = serial_mix(["BT", "CG", "EP", "FT"], cluster="quad")
+        model = problem.model
+        assert isinstance(model, SDCDegradationModel)
+        problem.node_weight((0, 1, 2, 3))
+        assert model._cache and model._sdp_cache
+        problem.clear_caches()
+        assert model._cache == {}
+        assert model._sdp_cache == {}
+        assert model._rate_cache == {}
+        assert model._single_times == {}
+        assert problem._node_cache == {}
+        assert problem._deg_cache == {}
+
+    def test_stale_values_not_served_after_mutation(self):
+        """The regression the hook exists for: mutate the model, clear, and
+        the problem must recompute rather than serve the stale memo."""
+        problem = random_serial_instance(8, cluster="quad", seed=11)
+        node = (0, 1, 2, 3)
+        before = problem.node_weight(node)
+        problem.model.miss_rates = problem.model.miss_rates * 2.0
+        problem.clear_caches()
+        after = problem.node_weight(node)
+        assert after != pytest.approx(before)
+
+    def test_base_model_clear_is_noop(self):
+        model = MissRatePressureModel(miss_rates=[0.2, 0.3], cores=2)
+        model.clear_caches()  # must not raise
+
+    def test_clear_resets_counters(self):
+        problem = random_serial_instance(8, cluster="quad", seed=12)
+        problem.node_weights_batch([(0, 1, 2, 3)])
+        assert problem.counters.count("node_weight_batched") == 1
+        problem.clear_caches()
+        assert problem.counters.count("node_weight_batched") == 0

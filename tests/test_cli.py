@@ -79,3 +79,25 @@ class TestSimulateCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "first-fit" in out and "least-pressure" in out
+
+
+class TestProfile:
+    def test_solve_profile_prints_counters(self, capsys):
+        rc = main(["solve", "--cluster", "dual", "--profile",
+                   "BT", "CG", "EP", "FT"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "phase wall time" in out
+        assert "solver stats" in out
+
+    def test_solve_without_profile_is_quiet(self, capsys):
+        rc = main(["solve", "--cluster", "dual", "BT", "CG", "EP", "FT"])
+        assert rc == 0
+        assert "profile:" not in capsys.readouterr().out
+
+    def test_workers_flag_accepted(self, capsys):
+        rc = main(["solve", "--cluster", "dual", "--solver", "hastar",
+                   "--workers", "2", "BT", "CG", "EP", "FT"])
+        assert rc == 0
+        assert "machine 0" in capsys.readouterr().out
