@@ -1,0 +1,130 @@
+"""Anytime-budget acceptance bench: deadline adherence, quality, overhead.
+
+Three guarantees (docs/OBSERVABILITY.md, docs/ARCHITECTURE.md):
+
+* a budgeted OA* on a Table-III-sized instance stops within ~2x its wall
+  budget and returns a *valid* schedule whose objective bounds the exact
+  optimum from above;
+* more budget never buys a worse answer, and an unlimited run recovers the
+  optimum exactly;
+* with no tracer attached the tracing layer costs nothing measurable.
+
+Run:  pytest benchmarks/test_budget_anytime.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.perf import Tracer, read_trace
+from repro.solvers import Budget, FallbackChain, OAStar, PolitenessGreedy
+from repro.workloads import random_serial_instance, serial_mix
+from repro.analysis import summarize_trace
+
+
+def fresh_problem(n=24, seed=7):
+    """Table-III-sized synthetic serial batch (n jobs on n/4 quad cores)."""
+    return random_serial_instance(n, "quad", seed=seed)
+
+
+class TestDeadlineAdherence:
+    def test_wall_budget_within_2x_with_valid_schedule(self, tmp_path):
+        problem = fresh_problem()
+        exact = OAStar().solve(problem)
+        problem.clear_caches()
+
+        budget_s = 0.05
+        trace_path = tmp_path / "anytime.jsonl"
+        with Tracer(str(trace_path), flush_every=1) as tracer:
+            problem.counters.tracer = tracer
+            t0 = time.perf_counter()
+            result = OAStar().solve(problem,
+                                    budget=Budget(wall_time=budget_s))
+            elapsed = time.perf_counter() - t0
+        problem.counters.tracer = None
+
+        print(f"\nanytime OA* (n={problem.n}): budget {budget_s*1e3:.0f}ms, "
+              f"ran {elapsed*1e3:.1f}ms, stopped={result.budget_stopped}, "
+              f"objective {result.objective:.4f} vs exact "
+              f"{exact.objective:.4f}")
+        assert result.schedule is not None
+        assert result.objective >= exact.objective - 1e-9
+        if result.budget_stopped is not None:
+            assert not result.optimal
+            # ~2x the wall budget (small absolute slack for slow CI boxes:
+            # one greedy completion pass is the irreducible tail).
+            assert elapsed <= 2 * budget_s + 0.2, (
+                f"overshot: {elapsed:.3f}s vs budget {budget_s}s"
+            )
+
+        summary = summarize_trace(read_trace(str(trace_path)))
+        assert summary["n_events"] > 0
+        assert summary["final"]["objective"] is not None
+
+    def test_fallback_chain_meets_deadline(self):
+        problem = fresh_problem(n=32, seed=11)
+        pg = PolitenessGreedy().solve(problem)
+        problem.clear_caches()
+        budget_s = 0.05
+        t0 = time.perf_counter()
+        result = FallbackChain().solve(problem,
+                                       budget=Budget(wall_time=budget_s))
+        elapsed = time.perf_counter() - t0
+        print(f"fallback chain (n={problem.n}): ran {elapsed*1e3:.1f}ms, "
+              f"winner {result.stats['winner']}, "
+              f"objective {result.objective:.4f} (PG {pg.objective:.4f})")
+        assert result.schedule is not None
+        # The chain's whole point: never worse than its last resort.
+        assert result.objective <= pg.objective + 1e-9
+        assert elapsed <= 2 * budget_s + 0.5  # PG tail is unbudgeted
+
+
+class TestAnytimeQuality:
+    def test_more_budget_never_worse(self):
+        problem = fresh_problem(n=16, seed=3)
+        exact = OAStar().solve(problem)
+        objectives = []
+        for nodes in (1, 4, 16, 64):
+            problem.clear_caches()
+            r = OAStar().solve(problem, budget=Budget(max_expanded=nodes))
+            objectives.append(r.objective)
+            assert r.schedule is not None
+            assert r.objective >= exact.objective - 1e-9
+        problem.clear_caches()
+        unlimited = OAStar().solve(problem, budget=Budget(max_expanded=10**9))
+        print("anytime quality curve (expansions -> objective): "
+              + ", ".join(f"{n}->{o:.4f}"
+                          for n, o in zip((1, 4, 16, 64), objectives))
+              + f", inf->{unlimited.objective:.4f}")
+        assert unlimited.objective == exact.objective
+        assert unlimited.optimal
+        # The curve may plateau but the endpoint dominates the start.
+        assert min(objectives) >= exact.objective - 1e-9
+
+
+class TestDisabledTracingOverhead:
+    def test_no_tracer_is_not_slower(self, tmp_path):
+        """Tracing off must cost ~nothing: compare repeated solves with the
+        tracer detached vs attached (attached pays JSON+IO per event)."""
+        problem = fresh_problem(n=16, seed=5)
+        solver = OAStar()
+        repeats = 5
+
+        def timed(tracer):
+            problem.counters.tracer = tracer
+            best = float("inf")
+            for _ in range(repeats):
+                problem.clear_caches()
+                t0 = time.perf_counter()
+                solver.solve(problem)
+                best = min(best, time.perf_counter() - t0)
+            problem.counters.tracer = None
+            return best
+
+        t_off = timed(None)
+        with Tracer(str(tmp_path / "d.jsonl")) as tracer:
+            t_on = timed(tracer)
+        print(f"tracing overhead: off {t_off*1e3:.2f}ms, "
+              f"on {t_on*1e3:.2f}ms ({t_on/t_off:.2f}x)")
+        # Generous: disabled must never be slower than enabled + noise.
+        assert t_off <= t_on * 1.5 + 0.005

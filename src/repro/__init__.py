@@ -43,6 +43,8 @@ from .core.machine import (
 from .solvers import (
     BranchBoundIP,
     BruteForce,
+    Budget,
+    FallbackChain,
     HAStar,
     OAStar,
     OSVP,
@@ -82,6 +84,8 @@ __all__ = [
     "EIGHT_CORE_CLUSTER",
     "BranchBoundIP",
     "BruteForce",
+    "Budget",
+    "FallbackChain",
     "HAStar",
     "OAStar",
     "OSVP",

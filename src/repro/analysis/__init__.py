@@ -1,4 +1,4 @@
-"""Analysis helpers: MER statistics, CDFs, ASCII table/series rendering."""
+"""Analysis helpers: MER statistics, CDFs, rendering, trace reports."""
 
 from .calibration import (
     TraceProgram,
@@ -10,7 +10,23 @@ from .mer import effective_ranks, mer_of_schedule
 from .reporting import format_value, render_series, render_table
 from .stats import cdf_at, empirical_cdf, summarize
 
+_TRACE_REPORT_EXPORTS = ("render_report", "summarize_trace")
+
+
+def __getattr__(name):
+    # Lazy: keeps ``python -m repro.analysis.trace_report`` runnable without
+    # the runpy double-import warning, while ``from repro.analysis import
+    # summarize_trace`` still works.
+    if name in _TRACE_REPORT_EXPORTS:
+        from . import trace_report
+
+        return getattr(trace_report, name)
+    raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
+
+
 __all__ = [
+    "render_report",
+    "summarize_trace",
     "TraceProgram",
     "measure_pairwise_matrix",
     "predict_pairwise_matrix",

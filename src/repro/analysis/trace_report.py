@@ -1,0 +1,190 @@
+"""Summarize a JSONL search trace into a human-readable report.
+
+Consumes the event stream written by :class:`repro.perf.Tracer` (see
+``docs/OBSERVABILITY.md`` for the schema) and answers the questions a slow
+or budget-stopped solve raises: how far did the search get, when did the
+incumbent last improve, how much pruning did dismissal do, which fallback
+stage produced the answer, and why did the run stop.
+
+Use programmatically::
+
+    from repro.analysis.trace_report import summarize_trace, render_report
+    from repro.perf import read_trace
+
+    summary = summarize_trace(read_trace("solve.jsonl"))
+    print(render_report(summary))
+
+or from the shell (the companion of ``cosched solve --trace``)::
+
+    python -m repro.analysis.trace_report solve.jsonl
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..perf.tracer import read_trace
+
+__all__ = ["summarize_trace", "render_report", "main"]
+
+
+def summarize_trace(events: Iterable[dict]) -> Dict[str, object]:
+    """Fold an event stream into one summary dict.
+
+    Keys: ``n_events``, ``event_counts`` (per type), ``wall_span`` (first to
+    last timestamp), ``solvers`` (run order), ``expanded`` (total expand
+    events), ``expand_rate`` (events/s over the span), ``dismissed`` (total
+    dismissal count), ``max_depth``, ``incumbents`` (objective trajectory:
+    list of ``{t, solver, objective}``), ``first_incumbent`` /
+    ``best_incumbent``, ``budget_stops`` (list of ``{solver, reason}``),
+    ``fallbacks`` (list of ``{from, to, reason}``), and ``final``
+    (the last solve_end payload, if any).
+    """
+    counts: Counter = Counter()
+    n_events = 0
+    t_first: Optional[float] = None
+    t_last: Optional[float] = None
+    solvers: List[str] = []
+    expanded = 0
+    dismissed = 0
+    max_depth = 0
+    incumbents: List[dict] = []
+    budget_stops: List[dict] = []
+    fallbacks: List[dict] = []
+    final: Optional[dict] = None
+
+    for event in events:
+        ev = event.get("ev", "?")
+        t = event.get("t")
+        n_events += 1
+        counts[ev] += 1
+        if isinstance(t, (int, float)):
+            if t_first is None:
+                t_first = t
+            t_last = t
+        if ev == "solve_start":
+            solvers.append(event.get("solver", "?"))
+        elif ev == "expand":
+            expanded += 1
+            depth = event.get("depth")
+            if isinstance(depth, int) and depth > max_depth:
+                max_depth = depth
+        elif ev == "level":
+            depth = event.get("depth")
+            if isinstance(depth, int) and depth > max_depth:
+                max_depth = depth
+        elif ev == "dismiss":
+            dismissed += int(event.get("count", 1))
+        elif ev == "incumbent":
+            incumbents.append({
+                "t": t,
+                "solver": event.get("solver"),
+                "objective": event.get("objective"),
+            })
+        elif ev == "budget_stop":
+            budget_stops.append({
+                "solver": event.get("solver"),
+                "reason": event.get("reason"),
+            })
+        elif ev == "fallback":
+            fallbacks.append({
+                "from": event.get("from_solver"),
+                "to": event.get("to_solver"),
+                "reason": event.get("reason"),
+            })
+        elif ev == "solve_end":
+            final = event
+
+    span = 0.0
+    if t_first is not None and t_last is not None:
+        span = max(0.0, t_last - t_first)
+    objectives = [
+        i["objective"] for i in incumbents
+        if isinstance(i.get("objective"), (int, float))
+    ]
+    return {
+        "n_events": n_events,
+        "event_counts": dict(counts),
+        "wall_span": span,
+        "solvers": solvers,
+        "expanded": expanded,
+        "expand_rate": expanded / span if span > 0 else 0.0,
+        "dismissed": dismissed,
+        "max_depth": max_depth,
+        "incumbents": incumbents,
+        "first_incumbent": objectives[0] if objectives else None,
+        "best_incumbent": min(objectives) if objectives else None,
+        "budget_stops": budget_stops,
+        "fallbacks": fallbacks,
+        "final": final,
+    }
+
+
+def render_report(summary: Dict[str, object]) -> str:
+    """Multi-line text report for a :func:`summarize_trace` summary."""
+    lines = ["trace report:"]
+    lines.append(f"  events                 {summary['n_events']}")
+    lines.append(f"  wall span              {summary['wall_span']:.4f}s")
+    if summary["solvers"]:
+        lines.append(f"  solver runs            {', '.join(summary['solvers'])}")
+    counts = summary["event_counts"]
+    if counts:
+        lines.append("  by type:")
+        for name in sorted(counts):
+            lines.append(f"    {name:<20s} {counts[name]}")
+    if summary["expanded"]:
+        lines.append(
+            f"  expansions             {summary['expanded']} "
+            f"({summary['expand_rate']:.0f}/s), max depth "
+            f"{summary['max_depth']}"
+        )
+    if summary["dismissed"]:
+        lines.append(f"  subpaths dismissed     {summary['dismissed']}")
+    if summary["incumbents"]:
+        lines.append(
+            f"  incumbents             {len(summary['incumbents'])} "
+            f"(first {summary['first_incumbent']:.6f}, "
+            f"best {summary['best_incumbent']:.6f})"
+        )
+    for stop in summary["budget_stops"]:
+        lines.append(
+            f"  budget stop            {stop['solver']}: {stop['reason']}"
+        )
+    for fb in summary["fallbacks"]:
+        lines.append(
+            f"  fallback               {fb['from']} -> {fb['to']} "
+            f"({fb['reason']})"
+        )
+    final = summary["final"]
+    if isinstance(final, dict):
+        objective = final.get("objective")
+        objective_text = (
+            f"{objective:.6f}" if isinstance(objective, (int, float))
+            else "none"
+        )
+        lines.append(
+            f"  final                  {final.get('solver')}: "
+            f"objective={objective_text} optimal={final.get('optimal')} "
+            f"stopped={final.get('stopped')}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.analysis.trace_report FILE [FILE ...]``"""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.analysis.trace_report FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    for path in args:
+        if len(args) > 1:
+            print(f"== {path} ==")
+        print(render_report(summarize_trace(read_trace(path))))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

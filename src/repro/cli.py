@@ -5,13 +5,18 @@
     cosched run all
     cosched solve --cluster quad BT CG EP FT IS LU MG SP
     cosched solve --solver hastar --cluster eight <apps...>
+    cosched solve --budget 5 --trace solve.jsonl <apps...>   # anytime + trace
     cosched graph --cluster dual BT CG EP FT IS LU     # Fig. 3-style view
     cosched simulate --jobs 60 --machines 4            # online policies
 
 ``solve`` co-schedules named catalog programs and prints the schedule plus
-its degradation breakdown; ``graph`` renders the co-scheduling graph with
-the optimal path highlighted; ``simulate`` races online placement policies
-on a random arrival trace.
+its degradation breakdown; ``--budget SECONDS`` makes it anytime (best
+valid schedule at the deadline, ``--solver fallback`` cascades
+OA* > HA* > PG), ``--trace FILE`` streams JSONL search events, and
+``--profile`` prints the perf-counter report even when the solve fails.
+``graph`` renders the co-scheduling graph with the optimal path
+highlighted; ``simulate`` races online placement policies on a random
+arrival trace.
 """
 
 from __future__ import annotations
@@ -21,7 +26,15 @@ import sys
 from typing import List, Optional, Sequence
 
 from .experiments import REGISTRY
-from .solvers import HAStar, OAStar, OSVP, PolitenessGreedy, ScipyMILP
+from .solvers import (
+    Budget,
+    FallbackChain,
+    HAStar,
+    OAStar,
+    OSVP,
+    PolitenessGreedy,
+    ScipyMILP,
+)
 from .workloads.catalog import CATALOG
 from .workloads.mixes import serial_mix
 
@@ -31,6 +44,7 @@ SOLVERS = {
     "osvp": lambda: OSVP(),
     "pg": lambda: PolitenessGreedy(),
     "ip": lambda: ScipyMILP(),
+    "fallback": lambda: FallbackChain(),
 }
 
 
@@ -69,23 +83,55 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     solver = SOLVERS[args.solver]()
     if getattr(args, "workers", 1) > 1 and hasattr(solver, "parallel_workers"):
         solver.parallel_workers = args.workers
-    result = solver.solve(problem)
-    print(result.schedule.pretty(problem.workload))
-    print(f"\nsolver: {result.solver}   time: {result.time_seconds:.4f}s")
-    print(f"total degradation: {result.objective:.6f}")
-    print(
-        "average degradation: "
-        f"{result.evaluation.average_job_degradation:.6f}"
-    )
-    for jid, d in sorted(result.evaluation.job_degradations.items()):
-        print(f"  {problem.workload.jobs[jid].name:10s} {d:.4f}")
-    if args.profile:
-        print()
-        print(problem.counters.report())
-        solver_stats = {k: v for k, v in result.stats.items() if k != "profile"}
-        if solver_stats:
-            print(f"  solver stats: {solver_stats}")
-    return 0
+    budget = None
+    if args.budget is not None:
+        if args.budget <= 0:
+            print("--budget must be positive seconds", file=sys.stderr)
+            return 2
+        budget = Budget(wall_time=args.budget)
+    tracer = None
+    if args.trace:
+        from .perf import Tracer
+
+        tracer = Tracer(args.trace)
+        problem.counters.tracer = tracer
+    result = None
+    try:
+        result = solver.solve(problem, budget=budget)
+        if result.schedule is None:
+            reason = result.budget_stopped or "no schedule found"
+            print(f"no schedule ({reason})", file=sys.stderr)
+            return 1
+        print(result.schedule.pretty(problem.workload))
+        print(f"\nsolver: {result.solver}   time: {result.time_seconds:.4f}s")
+        if result.budget_stopped is not None:
+            print(f"budget: stopped on {result.budget_stopped} "
+                  f"(best-so-far schedule, not proven optimal)")
+        print(f"total degradation: {result.objective:.6f}")
+        print(
+            "average degradation: "
+            f"{result.evaluation.average_job_degradation:.6f}"
+        )
+        for jid, d in sorted(result.evaluation.job_degradations.items()):
+            print(f"  {problem.workload.jobs[jid].name:10s} {d:.4f}")
+        return 0
+    finally:
+        # The profile must survive a failed or budget-stopped solve — a
+        # partial profile is exactly what diagnoses the failure.
+        if args.profile:
+            print()
+            print(problem.counters.report())
+            if result is not None:
+                solver_stats = {
+                    k: v for k, v in result.stats.items() if k != "profile"
+                }
+                if solver_stats:
+                    print(f"  solver stats: {solver_stats}")
+        if tracer is not None:
+            problem.counters.tracer = None
+            tracer.close()
+            print(f"trace: {tracer.events_written} events -> {args.trace}",
+                  file=sys.stderr)
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
@@ -178,6 +224,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="score expansion levels on N worker processes "
              "(search-based solvers only; 1 = in-process)",
+    )
+    p_solve.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-time budget: stop the solver at the deadline and print "
+             "its best-so-far valid schedule (anytime mode; combine with "
+             "--solver fallback for the OA* > HA* > PG cascade)",
+    )
+    p_solve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write structured JSONL search events (expand/dismiss/"
+             "incumbent/bound/fallback ...) to FILE; summarize with "
+             "'python -m repro.analysis.trace_report FILE'",
     )
     p_solve.set_defaults(func=_cmd_solve)
 

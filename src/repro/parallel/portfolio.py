@@ -15,13 +15,16 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.problem import CoSchedulingProblem
 from ..solvers.base import Solver, SolveResult
+from ..solvers.budget import Budget
 
 __all__ = ["PortfolioSolver"]
 
 
-def _run_member(args: Tuple[Solver, CoSchedulingProblem]) -> SolveResult:
-    solver, problem = args
-    return solver.solve(problem)
+def _run_member(
+    args: Tuple[Solver, CoSchedulingProblem, Optional[Budget]]
+) -> SolveResult:
+    solver, problem, budget = args
+    return solver.solve(problem, budget=budget)
 
 
 class PortfolioSolver(Solver):
@@ -50,20 +53,28 @@ class PortfolioSolver(Solver):
         self.name = name or f"portfolio[{len(self.members)}]"
 
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        budget = self._active_budget()
         results: List[SolveResult] = []
         if self.workers == 1:
+            # Sequential race: each member sees whatever budget is left, so
+            # a deadline bounds the whole portfolio, not each member.
             for solver in self.members:
                 problem.clear_caches()
-                results.append(solver.solve(problem))
+                sub_budget = budget.remaining() if budget.limited else None
+                results.append(solver.solve(problem, budget=sub_budget))
         else:
+            # Concurrent race: members run simultaneously, so each gets the
+            # full budget snapshot (wall clocks tick in parallel).
+            sub_budget = budget.budget if budget.limited else None
             with cf.ProcessPoolExecutor(max_workers=self.workers) as pool:
                 futures = [
-                    pool.submit(_run_member, (solver, problem))
+                    pool.submit(_run_member, (solver, problem, sub_budget))
                     for solver in self.members
                 ]
                 for fut in futures:
                     results.append(fut.result())
-        best = min(results, key=lambda r: r.objective)
+        valid = [r for r in results if r.schedule is not None]
+        best = min(valid or results, key=lambda r: r.objective)
         return SolveResult(
             solver=self.name,
             schedule=best.schedule,

@@ -8,11 +8,21 @@ so every caller sees one interface; this package holds what surrounds them:
 * :class:`PerfCounters` — weight-evaluation / batch-size / memo-hit / heap
   counters and per-phase wall time, surfaced via ``cosched solve --profile``
   and ``SolveResult.stats["profile"]``;
+* :class:`Tracer` / :func:`read_trace` — structured JSONL search events
+  (expand / dismiss / incumbent / bound / fallback …), attached through
+  ``problem.counters.tracer`` and surfaced via ``cosched solve --trace``;
 * :class:`ParallelLevelScorer` — opt-in multiprocessing map for HA*'s
   per-level MER scoring at scale.
 """
 
 from .counters import PerfCounters
 from .parallel_expand import ParallelLevelScorer
+from .tracer import EVENT_TYPES, Tracer, read_trace
 
-__all__ = ["PerfCounters", "ParallelLevelScorer"]
+__all__ = [
+    "PerfCounters",
+    "ParallelLevelScorer",
+    "Tracer",
+    "read_trace",
+    "EVENT_TYPES",
+]

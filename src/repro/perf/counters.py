@@ -25,9 +25,18 @@ __all__ = ["PerfCounters"]
 
 
 class PerfCounters:
-    """Mutable counter bundle: named counts, batch stats, phase timings."""
+    """Mutable counter bundle: named counts, batch stats, phase timings.
+
+    ``tracer`` is the attach point for structured event tracing
+    (:class:`repro.perf.tracer.Tracer`): solvers read it once per run and
+    emit JSONL search events through it when it is set.  It defaults to
+    ``None`` (tracing off — the emit sites reduce to one ``is not None``
+    check) and deliberately survives :meth:`reset`, which clears measured
+    data, not observer wiring.
+    """
 
     def __init__(self) -> None:
+        self.tracer = None
         self.reset()
 
     def reset(self) -> None:

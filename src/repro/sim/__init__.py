@@ -1,6 +1,6 @@
 """Online co-scheduling simulation: the systems the offline optimum targets."""
 
-from .batch import compare_schedules, simulate_schedule
+from .batch import compare_schedules, compare_solvers, simulate_schedule
 from .engine import (
     MachineState,
     OnlineJob,
@@ -17,6 +17,7 @@ from .policies import (
 
 __all__ = [
     "compare_schedules",
+    "compare_solvers",
     "simulate_schedule",
     "MachineState",
     "OnlineJob",

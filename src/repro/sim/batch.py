@@ -11,13 +11,17 @@ objective predicts it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
 from .engine import MachineState, OnlineJob, SimulationResult, simulate
 
-__all__ = ["simulate_schedule", "compare_schedules"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..solvers.base import Solver
+    from ..solvers.budget import Budget
+
+__all__ = ["simulate_schedule", "compare_schedules", "compare_solvers"]
 
 
 class _FixedPlacement:
@@ -105,4 +109,39 @@ def compare_schedules(
             "mean_slowdown": sum(j.slowdown for j in real) / len(real),
             "max_slowdown": max(j.slowdown for j in real),
         }
+    return out
+
+
+def compare_solvers(
+    problem: CoSchedulingProblem,
+    solvers: Dict[str, "Solver"],
+    budget: Optional["Budget"] = None,
+    works: Optional[Sequence[float]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Budgeted batch comparison: solve with each solver (each under its own
+    copy of ``budget``), replay the resulting schedule, and report both the
+    static objective and the measured time-domain metrics.
+
+    The anytime companion of :func:`compare_schedules` — with a budget each
+    entry also records ``solve_seconds`` and ``stopped`` (``None`` for a
+    complete run, else the tripped limit), so a sweep over deadline values
+    shows how much schedule quality each second of solving buys.  Caches are
+    cleared between solvers for fair timing.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for label, solver in solvers.items():
+        problem.clear_caches()
+        result = solver.solve(problem, budget=budget)
+        entry: Dict[str, float] = {
+            "objective": result.objective,
+            "solve_seconds": result.time_seconds,
+            "stopped": result.budget_stopped,
+        }
+        if result.schedule is not None:
+            entry.update(
+                compare_schedules(
+                    problem, {label: result.schedule}, works=works
+                )[label]
+            )
+        out[label] = entry
     return out

@@ -3,6 +3,8 @@
 from .astar_core import AStarSearch
 from .base import SolveResult, Solver
 from .brute_force import BruteForce, count_partitions
+from .budget import Budget, BudgetState
+from .fallback import FallbackChain
 from .greedy import PolitenessGreedy, RandomScheduler, SequentialScheduler
 from .hastar import HAStar
 from .ip_branch_bound import BranchBoundIP
@@ -17,6 +19,9 @@ __all__ = [
     "AStarSearch",
     "SolveResult",
     "Solver",
+    "Budget",
+    "BudgetState",
+    "FallbackChain",
     "BruteForce",
     "count_partitions",
     "PolitenessGreedy",

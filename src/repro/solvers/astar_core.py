@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.jobs import JobKind
+from ..core.objective import evaluate_schedule
 from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
 from ..graph.levels import HeuristicEstimator, SuccessorGenerator
@@ -273,6 +274,9 @@ class AStarSearch(Solver):
 
         use_matching = use_balance and u == 2
 
+        budget = self._active_budget()
+        tracer = perf.tracer
+
         root = _Record(
             unscheduled=tuple(range(n)),
             serial_sum=0.0,
@@ -294,12 +298,19 @@ class AStarSearch(Solver):
         if use_matching:
             h0 = max(h0, h_matching(root.unscheduled))
         heap: List[Tuple[float, int, _Record]] = [(root.g + h0, next(counter), root)]
+        if tracer is not None:
+            tracer.emit("bound", solver=self.name, kind="root_h", value=h0)
 
         expanded = 0
         pushed = 1
         dismissed = 0
         resumes = 0
         goal: Optional[_Record] = None
+        # Best partial path at the moment a budget limit trips — the anytime
+        # answer is this record's path completed greedily.
+        anytime_rec: Optional[_Record] = None
+        stopped: Optional[str] = None
+        max_depth = -1
         counters = {"pushed": pushed, "dismissed": dismissed}
 
         serial_only = not par_jobs
@@ -431,11 +442,13 @@ class AStarSearch(Solver):
                     h = max(h, h_matching(cand.unscheduled))
             return h
 
+        anytime_schedule: Optional[CoSchedule] = None
         try:
             with perf.phase("search"):
                 if self.beam_width is not None:
-                    goal, expanded = self._beam_search(
-                        root, gen, make_child, child_h, node_limit, counters
+                    goal, expanded, stopped, anytime_rec = self._beam_search(
+                        root, gen, make_child, child_h, node_limit, counters,
+                        budget,
                     )
                 else:
                     # Best-first A* over the whole graph.
@@ -446,8 +459,21 @@ class AStarSearch(Solver):
                             continue
                         if not rec.unscheduled:
                             goal = rec
+                            if tracer is not None:
+                                tracer.emit(
+                                    "incumbent", solver=self.name,
+                                    objective=goal.g, expanded=expanded,
+                                )
+                            break
+                        if budget.exhausted() is not None:
+                            # Anytime stop: the just-popped record is the
+                            # most promising live subpath — finish it
+                            # greedily below instead of searching on.
+                            stopped = budget.stop_reason
+                            anytime_rec = rec
                             break
                         expanded += 1
+                        budget.charge()
                         if (
                             self.max_expansions is not None
                             and expanded > self.max_expansions
@@ -456,6 +482,19 @@ class AStarSearch(Solver):
                                 f"{self.name}: exceeded "
                                 f"max_expansions={self.max_expansions}"
                             )
+                        if tracer is not None:
+                            depth = (n - len(rec.unscheduled)) // u
+                            if depth > max_depth:
+                                max_depth = depth
+                                tracer.emit(
+                                    "level", solver=self.name, depth=depth,
+                                    expanded=expanded,
+                                )
+                            tracer.emit(
+                                "expand", solver=self.name, depth=depth,
+                                g=rec.g, f=_f, expanded=expanded,
+                            )
+                            dismissed_before = counters["dismissed"]
 
                         if partial:
                             if rec.stream is None:
@@ -492,13 +531,55 @@ class AStarSearch(Solver):
                                 (cand.g + child_h(cand), next(counter), cand),
                             )
                             counters["pushed"] += 1
+                        if tracer is not None:
+                            newly = counters["dismissed"] - dismissed_before
+                            if newly:
+                                tracer.emit(
+                                    "dismiss", solver=self.name,
+                                    count=newly, expanded=expanded,
+                                )
+            if goal is None and anytime_rec is not None:
+                # Budget exhausted mid-search: finish the best partial path
+                # by repeatedly taking the cheapest valid node.  Greedy, so
+                # never better than the optimum — but always a *valid*
+                # schedule, which is the anytime contract.
+                with perf.phase("budget_completion"):
+                    anytime_schedule = self._greedy_complete(
+                        problem, gen, anytime_rec
+                    )
         finally:
             gen.close()
         perf.incr("heap_pushes", counters["pushed"] + resumes)
         pushed = counters["pushed"]
         dismissed = counters["dismissed"]
+        if stopped is not None and tracer is not None:
+            tracer.emit(
+                "budget_stop", solver=self.name, reason=stopped,
+                expanded=expanded,
+            )
 
         if goal is None:
+            if anytime_schedule is not None:
+                ev = evaluate_schedule(problem, anytime_schedule)
+                if tracer is not None:
+                    tracer.emit(
+                        "incumbent", solver=self.name,
+                        objective=ev.objective, expanded=expanded,
+                    )
+                return SolveResult(
+                    solver=self.name,
+                    schedule=anytime_schedule,
+                    objective=ev.objective,
+                    time_seconds=0.0,
+                    optimal=False,
+                    stats={
+                        "expanded": expanded,
+                        "visited_paths": pushed,
+                        "dismissed": dismissed,
+                        "budget_completion": "greedy",
+                        "profile": perf.snapshot(),
+                    },
+                )
             return SolveResult(
                 solver=self.name,
                 schedule=None,
@@ -541,24 +622,59 @@ class AStarSearch(Solver):
             },
         )
 
-    def _beam_search(self, root, gen, make_child, child_h, node_limit, counters):
+    def _greedy_complete(
+        self,
+        problem: CoSchedulingProblem,
+        gen: SuccessorGenerator,
+        rec: _Record,
+    ) -> Optional[CoSchedule]:
+        """Complete ``rec``'s partial path by appending the cheapest valid
+        node of each remaining level (the anytime fallback when a budget
+        trips mid-search).  ``None`` only if some state has no valid
+        successor, which cannot happen for a well-formed instance."""
+        groups: List[Tuple[int, ...]] = []
+        walk: Optional[_Record] = rec
+        while walk is not None and walk.node is not None:
+            groups.append(walk.node)
+            walk = walk.parent
+        groups.reverse()
+        unscheduled = rec.unscheduled
+        while unscheduled:
+            succ = gen.successors(unscheduled, limit=1)
+            if not succ:
+                return None
+            node, _w = succ[0]
+            groups.append(node)
+            members = frozenset(node)
+            unscheduled = tuple(p for p in unscheduled if p not in members)
+        return CoSchedule.from_groups(groups, u=problem.u, n=problem.n)
+
+    def _beam_search(
+        self, root, gen, make_child, child_h, node_limit, counters, budget
+    ):
         """Layered beam search: keep the best ``beam_width`` states per level.
 
         Bounded-width variant used for the paper's largest scales (hundreds
         to thousands of jobs), where even the trimmed exact search outgrows
         Python.  Not exhaustive: quality is anytime/near-optimal, like HA*
-        itself.  Returns ``(goal_record_or_None, expansions)``.
+        itself.  Returns ``(goal_record_or_None, expansions, stop_reason,
+        best_partial_record)`` — the last two are non-``None`` only when
+        ``budget`` tripped mid-descent.
         """
         beam = self.beam_width
         limit = node_limit if node_limit is not None else beam
         frontier = [(0.0, root)]
         expanded = 0
         while frontier and frontier[0][1].unscheduled:
+            if budget.exhausted() is not None:
+                best = min(frontier, key=lambda t: t[0])
+                return None, expanded, budget.stop_reason, best[1]
             candidates = []
             for _f, rec in frontier:
                 if not rec.alive:
                     continue
                 expanded += 1
+                budget.charge()
                 for node, node_w in gen.successors(rec.unscheduled, limit=limit):
                     cand = make_child(rec, node, node_w)
                     if cand is None:
@@ -566,11 +682,11 @@ class AStarSearch(Solver):
                     counters["pushed"] += 1
                     candidates.append((cand.g + child_h(cand), cand))
             if not candidates:
-                return None, expanded
+                return None, expanded, None, None
             candidates = [(f, c) for f, c in candidates if c.alive]
             candidates.sort(key=lambda t: t[0])
             frontier = candidates[:beam]
         if not frontier:
-            return None, expanded
+            return None, expanded, None, None
         best = min(frontier, key=lambda t: t[1].g)
-        return best[1], expanded
+        return best[1], expanded, None, None

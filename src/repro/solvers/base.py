@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -10,6 +11,7 @@ from typing import Dict, Optional
 from ..core.objective import ScheduleEvaluation, evaluate_schedule
 from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
+from .budget import Budget, BudgetState
 
 __all__ = ["SolveResult", "Solver"]
 
@@ -20,7 +22,10 @@ class SolveResult:
 
     ``objective`` is the total degradation (Eq. 6/13) of ``schedule``;
     ``stats`` carries solver-specific counters (``visited_paths`` — the
-    paper's Table IV metric, ``expanded``, ``dismissed`` …).
+    paper's Table IV metric, ``expanded``, ``dismissed`` …).  Budgeted runs
+    (see :class:`~repro.solvers.budget.Budget`) add ``stats["budget"]``:
+    the armed limits, the consumption, and ``stopped`` — ``None`` when the
+    run finished inside the budget, else the limit that tripped.
     """
 
     solver: str
@@ -31,6 +36,13 @@ class SolveResult:
     optimal: bool = False
     stats: Dict[str, float] = field(default_factory=dict)
 
+    @property
+    def budget_stopped(self) -> Optional[str]:
+        """Why the run was cut short (``"wall_time"`` / ``"expanded"`` /
+        ``"weight_evals"``), or ``None`` for a complete run."""
+        budget = self.stats.get("budget")
+        return budget.get("stopped") if isinstance(budget, dict) else None
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{self.solver}: objective={self.objective:.6f} "
@@ -39,18 +51,59 @@ class SolveResult:
 
 
 class Solver(abc.ABC):
-    """Base class: times the run and cross-checks the returned objective."""
+    """Base class: times the run and cross-checks the returned objective.
+
+    :meth:`solve` optionally takes a :class:`~repro.solvers.budget.Budget`;
+    it arms a :class:`~repro.solvers.budget.BudgetState` that ``_solve``
+    implementations poll through :meth:`_active_budget`.  Budget-aware
+    solvers stop when a limit trips and return their best valid schedule so
+    far; solvers that never poll simply run to completion (they are the
+    cheap ones, so an ignored budget is at worst a late answer, never a
+    wrong one).
+    """
 
     name: str = "solver"
+
+    #: The armed budget of the run currently inside ``_solve`` (set by
+    #: :meth:`solve`, ``None`` between runs).
+    _budget_state: Optional[BudgetState] = None
 
     @abc.abstractmethod
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
         """Produce a result; ``time_seconds`` is filled in by :meth:`solve`."""
 
-    def solve(self, problem: CoSchedulingProblem) -> SolveResult:
+    def _active_budget(self) -> BudgetState:
+        """The current run's budget state (an unlimited one when
+        :meth:`solve` was called without a budget)."""
+        if self._budget_state is None:
+            return BudgetState()
+        return self._budget_state
+
+    def solve(
+        self,
+        problem: CoSchedulingProblem,
+        budget: Optional[Budget] = None,
+    ) -> SolveResult:
+        counters = getattr(problem, "counters", None)
+        tracer = getattr(counters, "tracer", None)
+        state = BudgetState(budget, counters=counters)
+        self._budget_state = state
+        if tracer is not None:
+            tracer.emit(
+                "solve_start",
+                solver=self.name,
+                n=problem.n,
+                u=problem.u,
+                budget=state.budget.to_dict() or None,
+            )
         t0 = time.perf_counter()
-        result = self._solve(problem)
+        try:
+            result = self._solve(problem)
+        finally:
+            self._budget_state = None
         result.time_seconds = time.perf_counter() - t0
+        if state.limited:
+            result.stats.setdefault("budget", state.summary())
         if result.schedule is not None:
             result.evaluation = evaluate_schedule(problem, result.schedule)
             # The solver's internal bookkeeping must agree with the
@@ -62,4 +115,15 @@ class Solver(abc.ABC):
                     f"{self.name}: internal objective {result.objective} != "
                     f"evaluated {result.evaluation.objective}"
                 )
+        if tracer is not None:
+            tracer.emit(
+                "solve_end",
+                solver=self.name,
+                objective=(
+                    None if math.isinf(result.objective) else result.objective
+                ),
+                time=result.time_seconds,
+                optimal=result.optimal,
+                stopped=state.stop_reason,
+            )
         return result

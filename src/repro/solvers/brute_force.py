@@ -30,8 +30,18 @@ def count_partitions(n: int, u: int) -> int:
     return math.factorial(n) // (math.factorial(u) ** m * math.factorial(m))
 
 
+class _BudgetStop(Exception):
+    """Internal: unwinds the enumeration recursion when a budget trips."""
+
+
 class BruteForce(Solver):
-    """Exact enumeration; refuses instances with too many partitions."""
+    """Exact enumeration; refuses instances with too many partitions.
+
+    Budget-aware: the budget is polled after each complete partition, so a
+    budgeted run always returns the best of the partitions it managed to
+    examine (at least one — the depth-first order reaches a leaf before any
+    limit can trip).
+    """
 
     name = "brute-force"
 
@@ -45,6 +55,8 @@ class BruteForce(Solver):
             raise ValueError(
                 f"{total} partitions exceeds limit {self.max_partitions}"
             )
+        budget = self._active_budget()
+        tracer = problem.counters.tracer
         wl = problem.workload
         kinds = [wl.kind_of(pid) for pid in range(n)]
         job_ids = [
@@ -80,10 +92,16 @@ class BruteForce(Solver):
             nonlocal best_obj, best_groups, examined
             if not unplaced:
                 examined += 1
+                budget.charge()
                 obj = objective_of_groups()
                 if obj < best_obj:
                     best_obj = obj
                     best_groups = list(groups)
+                    if tracer is not None:
+                        tracer.emit("incumbent", solver=self.name,
+                                    objective=obj, examined=examined)
+                if budget.exhausted() is not None:
+                    raise _BudgetStop
                 return
             head, rest = unplaced[0], unplaced[1:]
             for combo in itertools.combinations(rest, u - 1):
@@ -92,7 +110,14 @@ class BruteForce(Solver):
                 rec(remaining)
                 groups.pop()
 
-        rec(tuple(range(n)))
+        stopped = None
+        try:
+            rec(tuple(range(n)))
+        except _BudgetStop:
+            stopped = budget.stop_reason
+            if tracer is not None:
+                tracer.emit("budget_stop", solver=self.name, reason=stopped,
+                            examined=examined)
         assert best_groups is not None
         schedule = CoSchedule.from_groups(best_groups, u=u, n=n)
         return SolveResult(
@@ -100,6 +125,6 @@ class BruteForce(Solver):
             schedule=schedule,
             objective=best_obj,
             time_seconds=0.0,
-            optimal=True,
+            optimal=stopped is None,
             stats={"partitions_examined": examined},
         )

@@ -38,6 +38,10 @@ class BranchBoundIP(Solver):
     max_nodes / time_limit:
         Safety valves; exceeding them raises ``RuntimeError`` (a truthful
         "solver gave up", like SCIP's 1000-second bailout in Table III).
+        For graceful degradation pass ``budget=Budget(...)`` to
+        :meth:`solve` instead: on exhaustion the current incumbent (PG
+        greedy at worst) is returned with ``optimal=False`` and
+        ``stats["budget"]`` recording why.
     """
 
     def __init__(
@@ -114,21 +118,37 @@ class BranchBoundIP(Solver):
             for pid in T:
                 cols_with[pid].append(k)
 
+        budget = self._active_budget()
+        tracer = problem.counters.tracer
+
         # Initial incumbent: PG greedy.
         pg = PolitenessGreedy().solve(problem)
         incumbent_obj = pg.objective
         incumbent_sched = pg.schedule
+        if tracer is not None:
+            tracer.emit("incumbent", solver=self.name, objective=incumbent_obj,
+                        source="greedy-init", bb_nodes=0)
 
         t0 = time.perf_counter()
         nodes_explored = 0
         lp_solves = 0
+        stopped = None
 
         # DFS stack of (included frozenset, excluded frozenset-as-set).
         stack: List[Tuple[FrozenSet[int], Set[int]]] = [(frozenset(), set())]
 
         while stack:
+            if budget.exhausted() is not None:
+                # Anytime stop: the incumbent (greedy at worst) is the
+                # best-known valid schedule; return it instead of raising.
+                stopped = budget.stop_reason
+                if tracer is not None:
+                    tracer.emit("budget_stop", solver=self.name,
+                                reason=stopped, bb_nodes=nodes_explored)
+                break
             included, excluded = stack.pop()
             nodes_explored += 1
+            budget.charge()
             if nodes_explored > self.max_nodes:
                 raise RuntimeError(f"{self.name}: exceeded {self.max_nodes} nodes")
             if self.time_limit is not None and (
@@ -161,6 +181,10 @@ class BranchBoundIP(Solver):
                     incumbent_sched = CoSchedule.from_groups(
                         [subsets[k] for k in included], u=u, n=n
                     )
+                    if tracer is not None:
+                        tracer.emit("incumbent", solver=self.name,
+                                    objective=incumbent_obj,
+                                    bb_nodes=nodes_explored)
                 continue
             # Quick feasibility: every uncovered pid needs an active column.
             active_set = set(active)
@@ -208,6 +232,9 @@ class BranchBoundIP(Solver):
             if lp.status != "optimal":
                 continue  # infeasible subtree
             bound = lp.objective + constant
+            if tracer is not None:
+                tracer.emit("bound", solver=self.name, kind="lp_relaxation",
+                            value=bound, bb_nodes=nodes_explored)
             if bound >= incumbent_obj - 1e-9:
                 continue
 
@@ -224,6 +251,10 @@ class BranchBoundIP(Solver):
                     incumbent_sched = CoSchedule.from_groups(
                         [subsets[k] for k in chosen], u=u, n=n
                     )
+                    if tracer is not None:
+                        tracer.emit("incumbent", solver=self.name,
+                                    objective=incumbent_obj,
+                                    bb_nodes=nodes_explored)
                 continue
 
             branch_j = int(np.argmax(frac))
@@ -242,7 +273,7 @@ class BranchBoundIP(Solver):
             schedule=incumbent_sched,
             objective=ev.objective,
             time_seconds=0.0,
-            optimal=True,
+            optimal=stopped is None,
             stats={
                 "bb_nodes": nodes_explored,
                 "lp_solves": lp_solves,

@@ -19,7 +19,15 @@ __all__ = ["ScipyMILP"]
 
 
 class ScipyMILP(Solver):
-    """Solve the set-partitioning MILP with HiGHS branch-and-cut."""
+    """Solve the set-partitioning MILP with HiGHS branch-and-cut.
+
+    Budget-aware via HiGHS's own deadline: a ``wall_time`` budget is
+    forwarded as the MILP time limit (combined with ``time_limit`` when
+    both are set).  If HiGHS stops at the deadline with a feasible
+    incumbent, that schedule is returned with ``optimal=False``; with no
+    incumbent the result is an explicit ``schedule=None`` plus the stop
+    reason.  Node/eval budgets don't map onto HiGHS and are ignored.
+    """
 
     name = "IP(milp)"
 
@@ -28,6 +36,7 @@ class ScipyMILP(Solver):
         self.mip_rel_gap = mip_rel_gap
 
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        budget = self._active_budget()
         form = build_formulation(problem)
         nv = form.n_vars
         constraints = [
@@ -40,8 +49,12 @@ class ScipyMILP(Solver):
         lb = np.zeros(nv)
         ub = np.concatenate([np.ones(form.n_x), np.full(form.n_y, np.inf)])
         options = {"mip_rel_gap": self.mip_rel_gap}
-        if self.time_limit is not None:
-            options["time_limit"] = self.time_limit
+        limits = [
+            t for t in (self.time_limit, budget.budget.wall_time)
+            if t is not None
+        ]
+        if limits:
+            options["time_limit"] = min(limits)
         res = milp(
             c=form.cost,
             constraints=constraints,
@@ -49,7 +62,11 @@ class ScipyMILP(Solver):
             bounds=Bounds(lb, ub),
             options=options,
         )
-        if not res.success or res.x is None:
+        # status 1 == iteration/time limit reached; an incumbent may exist.
+        deadline_hit = res.status == 1
+        if deadline_hit and budget.budget.wall_time is not None:
+            budget.stop_reason = "wall_time"
+        if (not res.success and not deadline_hit) or res.x is None:
             return SolveResult(
                 solver=self.name,
                 schedule=None,
@@ -57,7 +74,19 @@ class ScipyMILP(Solver):
                 time_seconds=0.0,
                 stats={"status": res.status, "message": str(res.message)},
             )
-        schedule = form.schedule_from_x(np.round(res.x[: form.n_x]))
+        try:
+            schedule = form.schedule_from_x(np.round(res.x[: form.n_x]))
+        except (ValueError, AssertionError):
+            if not deadline_hit:
+                raise
+            # Deadline tripped before HiGHS had an integral incumbent.
+            return SolveResult(
+                solver=self.name,
+                schedule=None,
+                objective=float("inf"),
+                time_seconds=0.0,
+                stats={"status": res.status, "message": str(res.message)},
+            )
         from ..core.objective import evaluate_schedule
 
         ev = evaluate_schedule(problem, schedule)
@@ -66,7 +95,7 @@ class ScipyMILP(Solver):
             schedule=schedule,
             objective=ev.objective,
             time_seconds=0.0,
-            optimal=True,
+            optimal=not deadline_hit,
             stats={
                 "n_variables": nv,
                 "n_subsets": form.n_x,

@@ -56,31 +56,55 @@ class SwapHillClimber(Solver):
         return [list(range(k * u, (k + 1) * u)) for k in range(n // u)]
 
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        budget = self._active_budget()
+        tracer = problem.counters.tracer
         groups = self._initial(problem)
         m, u = len(groups), problem.u
         best = _objective_of_groups(problem, groups)
         evaluations = 1
         passes = 0
         improved = True
-        while improved and passes < self.max_passes:
+        stopped = None
+        while improved and passes < self.max_passes and stopped is None:
             improved = False
             passes += 1
             for a in range(m):
                 for b in range(a + 1, m):
                     for i in range(u):
                         for j in range(u):
+                            if budget.exhausted() is not None:
+                                # The working groups are always a valid
+                                # schedule at least as good as the start.
+                                stopped = budget.stop_reason
+                                break
                             groups[a][i], groups[b][j] = (
                                 groups[b][j], groups[a][i],
                             )
                             obj = _objective_of_groups(problem, groups)
                             evaluations += 1
+                            budget.charge()
                             if obj < best - 1e-12:
                                 best = obj
                                 improved = True
+                                if tracer is not None:
+                                    tracer.emit(
+                                        "incumbent", solver=self.name,
+                                        objective=best,
+                                        evaluations=evaluations,
+                                    )
                             else:
                                 groups[a][i], groups[b][j] = (
                                     groups[b][j], groups[a][i],
                                 )
+                        if stopped is not None:
+                            break
+                    if stopped is not None:
+                        break
+                if stopped is not None:
+                    break
+        if stopped is not None and tracer is not None:
+            tracer.emit("budget_stop", solver=self.name, reason=stopped,
+                        evaluations=evaluations)
         schedule = CoSchedule.from_groups(groups, u=u, n=problem.n)
         return SolveResult(
             solver=self.name,
@@ -120,6 +144,8 @@ class SimulatedAnnealing(Solver):
         self.name = name or "annealing"
 
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        budget = self._active_budget()
+        tracer = problem.counters.tracer
         rng = random.Random(self.seed)
         init = SwapHillClimber(start=self.start, max_passes=0)
         groups = init._initial(problem)
@@ -129,13 +155,25 @@ class SimulatedAnnealing(Solver):
         best_groups = [list(g) for g in groups]
         temp = max(1e-9, self.t0 * max(current, 1e-9))
         accepted = 0
+        iterations_run = 0
+        stopped = None
         for _ in range(self.iterations):
             if m < 2:
+                break
+            if budget.exhausted() is not None:
+                # best_groups always holds a valid schedule (the start at
+                # worst), so a budgeted run degrades to shorter annealing.
+                stopped = budget.stop_reason
+                if tracer is not None:
+                    tracer.emit("budget_stop", solver=self.name,
+                                reason=stopped, iterations=iterations_run)
                 break
             a, b = rng.sample(range(m), 2)
             i, j = rng.randrange(u), rng.randrange(u)
             groups[a][i], groups[b][j] = groups[b][j], groups[a][i]
             obj = _objective_of_groups(problem, groups)
+            iterations_run += 1
+            budget.charge()
             delta = obj - current
             if delta <= 0 or rng.random() < math.exp(-delta / temp):
                 current = obj
@@ -143,6 +181,10 @@ class SimulatedAnnealing(Solver):
                 if obj < best - 1e-12:
                     best = obj
                     best_groups = [list(g) for g in groups]
+                    if tracer is not None:
+                        tracer.emit("incumbent", solver=self.name,
+                                    objective=best,
+                                    iterations=iterations_run)
             else:
                 groups[a][i], groups[b][j] = groups[b][j], groups[a][i]
             temp *= self.cooling
@@ -152,5 +194,5 @@ class SimulatedAnnealing(Solver):
             schedule=schedule,
             objective=best,
             time_seconds=0.0,
-            stats={"iterations": self.iterations, "accepted": accepted},
+            stats={"iterations": iterations_run, "accepted": accepted},
         )

@@ -1,0 +1,132 @@
+"""Trace-report summarizer: synthetic streams and real solver round trips."""
+
+from repro.analysis import render_report, summarize_trace
+from repro.analysis.trace_report import main
+from repro.perf import Tracer, read_trace
+from repro.solvers import Budget, FallbackChain, OAStar
+from repro.workloads import serial_mix
+
+SYNTHETIC = [
+    {"t": 0.0, "ev": "solve_start", "solver": "OA*", "n": 8, "u": 4,
+     "budget": {"wall_time": 1.0}},
+    {"t": 0.001, "ev": "bound", "solver": "OA*", "kind": "root_h",
+     "value": 2.0},
+    {"t": 0.002, "ev": "level", "solver": "OA*", "depth": 1, "expanded": 1},
+    {"t": 0.002, "ev": "expand", "solver": "OA*", "depth": 1, "g": 0.5,
+     "f": 2.5, "expanded": 1},
+    {"t": 0.003, "ev": "dismiss", "solver": "OA*", "count": 10,
+     "expanded": 1},
+    {"t": 0.004, "ev": "expand", "solver": "OA*", "depth": 2, "g": 1.0,
+     "f": 2.6, "expanded": 2},
+    {"t": 0.005, "ev": "incumbent", "solver": "OA*", "objective": 3.0,
+     "expanded": 2},
+    {"t": 0.006, "ev": "incumbent", "solver": "OA*", "objective": 2.7,
+     "expanded": 2},
+    {"t": 0.007, "ev": "budget_stop", "solver": "OA*", "reason": "wall_time",
+     "expanded": 2},
+    {"t": 0.008, "ev": "fallback", "solver": "chain", "from_solver": "OA*",
+     "to_solver": "PG", "reason": "wall_time"},
+    {"t": 0.009, "ev": "solve_end", "solver": "chain", "objective": 2.7,
+     "time": 0.009, "optimal": False, "stopped": "wall_time"},
+]
+
+
+class TestSummarize:
+    def test_synthetic_stream(self):
+        s = summarize_trace(iter(SYNTHETIC))
+        assert s["n_events"] == len(SYNTHETIC)
+        assert s["event_counts"]["expand"] == 2
+        assert s["expanded"] == 2
+        assert s["dismissed"] == 10
+        assert s["max_depth"] == 2
+        assert s["solvers"] == ["OA*"]
+        assert s["first_incumbent"] == 3.0
+        assert s["best_incumbent"] == 2.7
+        assert s["budget_stops"] == [{"solver": "OA*", "reason": "wall_time"}]
+        assert s["fallbacks"] == [
+            {"from": "OA*", "to": "PG", "reason": "wall_time"}
+        ]
+        assert s["final"]["objective"] == 2.7
+        assert s["wall_span"] == 0.009
+
+    def test_empty_stream(self):
+        s = summarize_trace([])
+        assert s["n_events"] == 0
+        assert s["best_incumbent"] is None
+        assert s["final"] is None
+        assert s["expand_rate"] == 0.0
+
+    def test_render_report(self):
+        text = render_report(summarize_trace(iter(SYNTHETIC)))
+        assert text.startswith("trace report:")
+        assert "budget stop" in text
+        assert "OA* -> PG" in text
+        assert "best 2.700000" in text
+        assert "stopped=wall_time" in text
+
+    def test_render_empty(self):
+        text = render_report(summarize_trace([]))
+        assert text.startswith("trace report:")
+
+
+class TestRoundTrip:
+    def test_budgeted_chain_trace_summarizes(self, tmp_path):
+        """ISSUE acceptance: a budgeted solve writes a JSONL trace the
+        report can digest."""
+        problem = serial_mix(["BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"],
+                             "quad")
+        path = tmp_path / "run.jsonl"
+        with Tracer(str(path), flush_every=1) as tracer:
+            problem.counters.tracer = tracer
+            result = FallbackChain().solve(
+                problem, budget=Budget(max_weight_evals=3)
+            )
+        problem.counters.tracer = None
+        assert result.schedule is not None
+        summary = summarize_trace(read_trace(str(path)))
+        assert summary["n_events"] > 0
+        assert summary["budget_stops"]
+        assert summary["fallbacks"]
+        assert summary["final"]["objective"] is not None
+        text = render_report(summary)
+        assert "fallback" in text
+
+    def test_unbudgeted_solve_summarizes(self, tmp_path):
+        problem = serial_mix(["BT", "CG", "EP", "FT"], "dual")
+        path = tmp_path / "run.jsonl"
+        with Tracer(str(path)) as tracer:
+            problem.counters.tracer = tracer
+            OAStar().solve(problem)
+        problem.counters.tracer = None
+        summary = summarize_trace(read_trace(str(path)))
+        assert summary["expanded"] > 0
+        assert summary["final"]["optimal"] is True
+        assert not summary["budget_stops"]
+
+
+class TestMain:
+    def test_no_args_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_single_file(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        with Tracer(str(path)) as tracer:
+            for event in SYNTHETIC:
+                fields = {k: v for k, v in event.items()
+                          if k not in ("t", "ev")}
+                tracer.emit(event["ev"], **fields)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace report:")
+        assert "==" not in out  # single file: no per-file headers
+
+    def test_multiple_files_get_headers(self, tmp_path, capsys):
+        paths = []
+        for name in ("a.jsonl", "b.jsonl"):
+            p = tmp_path / name
+            p.write_text('{"t":0.0,"ev":"solve_start","solver":"x"}\n')
+            paths.append(str(p))
+        assert main(paths) == 0
+        out = capsys.readouterr().out
+        assert out.count("== ") == 2

@@ -101,3 +101,110 @@ class TestProfile:
                    "--workers", "2", "BT", "CG", "EP", "FT"])
         assert rc == 0
         assert "machine 0" in capsys.readouterr().out
+
+
+class TestBudgetFlag:
+    def test_generous_budget_solves_normally(self, capsys):
+        rc = main(["solve", "--cluster", "dual", "--budget", "30",
+                   "BT", "CG", "EP", "FT"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "machine 0" in out
+        assert "budget: stopped" not in out
+
+    def test_nonpositive_budget_rejected(self, capsys):
+        rc = main(["solve", "--cluster", "dual", "--budget", "0",
+                   "BT", "CG", "EP", "FT"])
+        assert rc == 2
+        assert "--budget must be positive" in capsys.readouterr().err
+
+    def test_tight_budget_still_prints_a_schedule(self, capsys):
+        # 1ms on an 8-program quad instance: the anytime path must still
+        # hand back a valid schedule (possibly with the stopped notice).
+        rc = main(["solve", "--cluster", "quad", "--budget", "0.001",
+                   "BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"])
+        assert rc == 0
+        assert "machine 0" in capsys.readouterr().out
+
+    def test_fallback_solver_with_budget(self, capsys):
+        rc = main(["solve", "--cluster", "quad", "--solver", "fallback",
+                   "--budget", "0.01",
+                   "BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"])
+        assert rc == 0
+        assert "fallback[" in capsys.readouterr().out
+
+
+class TestTraceFlag:
+    def test_trace_written_and_reported(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        rc = main(["solve", "--cluster", "dual", "--trace", str(trace),
+                   "BT", "CG", "EP", "FT"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "trace:" in err and str(trace) in err
+        from repro.perf import read_trace
+
+        events = list(read_trace(str(trace)))
+        assert events[0]["ev"] == "solve_start"
+        assert events[-1]["ev"] == "solve_end"
+
+    def test_trace_feeds_trace_report(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["solve", "--cluster", "dual", "--trace", str(trace),
+                     "--budget", "5", "BT", "CG", "EP", "FT"]) == 0
+        capsys.readouterr()
+        from repro.analysis.trace_report import main as report_main
+
+        assert report_main([str(trace)]) == 0
+        assert capsys.readouterr().out.startswith("trace report:")
+
+
+class TestProfileSurvivesFailure:
+    def test_profile_printed_when_solve_raises(self, capsys, monkeypatch):
+        # The finally-based profile emission must fire even when the solver
+        # blows up mid-run.
+        import repro.cli as cli
+
+        class Boom:
+            name = "boom"
+
+            def solve(self, problem, budget=None):
+                problem.counters.incr("doomed_work")
+                raise RuntimeError("midway explosion")
+
+        monkeypatch.setitem(cli.SOLVERS, "oastar", lambda: Boom())
+        with pytest.raises(RuntimeError):
+            main(["solve", "--cluster", "dual", "--profile",
+                  "BT", "CG", "EP", "FT"])
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "doomed_work" in out
+
+    def test_profile_printed_on_budget_stop(self, capsys):
+        rc = main(["solve", "--cluster", "quad", "--profile",
+                   "--budget", "0.001",
+                   "BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "solver stats" in out
+
+    def test_trace_closed_when_solve_raises(self, tmp_path, capsys,
+                                            monkeypatch):
+        import repro.cli as cli
+
+        class Boom:
+            name = "boom"
+
+            def solve(self, problem, budget=None):
+                tracer = problem.counters.tracer
+                tracer.emit("solve_start", solver=self.name)
+                raise RuntimeError("midway explosion")
+
+        monkeypatch.setitem(cli.SOLVERS, "oastar", lambda: Boom())
+        trace = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError):
+            main(["solve", "--cluster", "dual", "--trace", str(trace),
+                  "BT", "CG", "EP", "FT"])
+        # The finally flushed and closed the tracer: the event is on disk.
+        assert '"ev":"solve_start"' in trace.read_text()

@@ -4,11 +4,17 @@ Cheap guards that keep the public surface coherent: every documented
 experiment id exists, every public module imports cleanly, the version is
 consistent, and the examples reference only real APIs (they are executed in
 their own right by CI scripts; here we just import-compile them).
+
+The docs-lint half (``TestDocsLint``) keeps the documentation from
+drifting: every public package has an API.md section, every CLI flag is
+documented, and every python code fence in the docs parses and imports
+only names that exist.  CI runs this file as its own job.
 """
 
 import ast
 import importlib
 import pathlib
+import re
 
 import pytest
 
@@ -16,6 +22,7 @@ import repro
 
 REPO = pathlib.Path(repro.__file__).resolve().parent.parent.parent
 SRC = REPO / "src" / "repro"
+DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
 
 
 def all_modules():
@@ -65,6 +72,110 @@ class TestDocsConsistency:
             assert example.name in readme, (
                 f"examples/{example.name} not documented in README"
             )
+
+
+def cli_flags():
+    """Every ``--flag`` declared by an ``add_argument`` call in cli.py."""
+    tree = ast.parse((SRC / "cli.py").read_text())
+    flags = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+        ):
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    flags.append(arg.value)
+    assert flags, "no CLI flags found — did cli.py move?"
+    return sorted(set(flags))
+
+
+def python_fences():
+    """(path, index, source) for every ```python fence in README/docs."""
+    fence = re.compile(r"```python\n(.*?)```", re.DOTALL)
+    out = []
+    for path in DOC_FILES:
+        for i, match in enumerate(fence.finditer(path.read_text())):
+            out.append((path.name, i, match.group(1)))
+    return out
+
+
+class TestDocsLint:
+    """The documentation must track the code: lint it like code."""
+
+    def test_core_docs_exist(self):
+        for name in ("API.md", "ARCHITECTURE.md", "OBSERVABILITY.md"):
+            assert (REPO / "docs" / name).is_file(), f"docs/{name} missing"
+
+    def test_readme_links_architecture_and_api(self):
+        readme = (REPO / "README.md").read_text()
+        for doc in ("docs/ARCHITECTURE.md", "docs/OBSERVABILITY.md",
+                    "docs/API.md"):
+            assert doc in readme, f"README does not link {doc}"
+
+    def test_api_md_links_architecture(self):
+        assert "ARCHITECTURE.md" in (REPO / "docs" / "API.md").read_text()
+
+    def test_every_public_package_has_api_section(self):
+        api = (REPO / "docs" / "API.md").read_text()
+        packages = sorted(
+            p.name for p in SRC.iterdir()
+            if p.is_dir() and (p / "__init__.py").is_file()
+        )
+        assert packages, "no packages found under src/repro"
+        for pkg in packages:
+            assert f"`repro.{pkg}`" in api, (
+                f"docs/API.md has no section for repro.{pkg}"
+            )
+
+    @pytest.mark.parametrize("flag", cli_flags())
+    def test_every_cli_flag_documented(self, flag):
+        for path in DOC_FILES:
+            if f"`{flag}" in path.read_text() or f"{flag} " in path.read_text():
+                return
+        pytest.fail(f"CLI flag {flag} appears in no doc (README or docs/)")
+
+    @pytest.mark.parametrize(
+        "doc,idx,source", python_fences(),
+        ids=[f"{d}[{i}]" for d, i, _ in python_fences()],
+    )
+    def test_doc_code_fences_import_check(self, doc, idx, source):
+        """Python fences must parse, and every ``from repro...`` import must
+        name something that actually exists."""
+        tree = ast.parse(source)  # SyntaxError -> test failure
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module == "repro" or node.module.startswith("repro.")
+            ):
+                mod = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(mod, alias.name), (
+                        f"{doc} fence {idx}: {node.module} has no "
+                        f"{alias.name!r}"
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro"):
+                        importlib.import_module(alias.name)
+
+    def test_observability_documents_every_event_type(self):
+        text = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+        from repro.perf import EVENT_TYPES
+
+        for ev in EVENT_TYPES:
+            assert f"`{ev}`" in text, (
+                f"docs/OBSERVABILITY.md does not document event {ev!r}"
+            )
+
+    def test_ci_has_docs_lint_job(self):
+        ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "docs-lint" in ci
+        assert "test_repo_hygiene" in ci
 
 
 class TestExamplesCompile:
