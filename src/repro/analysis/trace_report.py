@@ -39,8 +39,11 @@ def summarize_trace(events: Iterable[dict]) -> Dict[str, object]:
     dismissal count), ``max_depth``, ``incumbents`` (objective trajectory:
     list of ``{t, solver, objective}``), ``first_incumbent`` /
     ``best_incumbent``, ``budget_stops`` (list of ``{solver, reason}``),
-    ``fallbacks`` (list of ``{from, to, reason}``), and ``final``
-    (the last solve_end payload, if any).
+    ``fallbacks`` (list of ``{from, to, reason}``), ``final`` (the last
+    solve_end payload, if any), and ``service`` (svc_* event totals from a
+    :class:`repro.service.SolveService` trace: enqueued / cache_hits /
+    coalesced / warm_starts / rejects, the derived ``cache_hit_rate``, and
+    ``reject_reasons``).
     """
     counts: Counter = Counter()
     n_events = 0
@@ -54,6 +57,9 @@ def summarize_trace(events: Iterable[dict]) -> Dict[str, object]:
     budget_stops: List[dict] = []
     fallbacks: List[dict] = []
     final: Optional[dict] = None
+    svc = {"enqueued": 0, "cache_hits": 0, "coalesced": 0,
+           "warm_starts": 0, "rejects": 0}
+    reject_reasons: Counter = Counter()
 
     for event in events:
         ev = event.get("ev", "?")
@@ -96,6 +102,17 @@ def summarize_trace(events: Iterable[dict]) -> Dict[str, object]:
             })
         elif ev == "solve_end":
             final = event
+        elif ev == "svc_enqueue":
+            svc["enqueued"] += 1
+        elif ev == "svc_cache_hit":
+            svc["cache_hits"] += 1
+        elif ev == "svc_coalesce":
+            svc["coalesced"] += 1
+        elif ev == "svc_warm_start":
+            svc["warm_starts"] += 1
+        elif ev == "svc_reject":
+            svc["rejects"] += 1
+            reject_reasons[event.get("reason", "?")] += 1
 
     span = 0.0
     if t_first is not None and t_last is not None:
@@ -119,6 +136,18 @@ def summarize_trace(events: Iterable[dict]) -> Dict[str, object]:
         "budget_stops": budget_stops,
         "fallbacks": fallbacks,
         "final": final,
+        "service": {
+            **svc,
+            "requests": sum(
+                svc[k] for k in ("enqueued", "cache_hits", "coalesced")
+            ) + svc["rejects"],
+            "cache_hit_rate": (
+                svc["cache_hits"]
+                / max(1, svc["enqueued"] + svc["cache_hits"]
+                      + svc["coalesced"])
+            ),
+            "reject_reasons": dict(reject_reasons),
+        },
     }
 
 
@@ -157,6 +186,18 @@ def render_report(summary: Dict[str, object]) -> str:
             f"  fallback               {fb['from']} -> {fb['to']} "
             f"({fb['reason']})"
         )
+    service = summary.get("service")
+    if isinstance(service, dict) and service.get("requests"):
+        lines.append(
+            f"  service requests       {service['requests']} "
+            f"(cache hits {service['cache_hits']} — "
+            f"{service['cache_hit_rate']:.0%}, "
+            f"coalesced {service['coalesced']}, "
+            f"warm starts {service['warm_starts']}, "
+            f"rejects {service['rejects']})"
+        )
+        for reason, count in sorted(service["reject_reasons"].items()):
+            lines.append(f"    reject: {reason:<12s} {count}")
     final = summary["final"]
     if isinstance(final, dict):
         objective = final.get("objective")

@@ -6,17 +6,25 @@
     cosched solve --cluster quad BT CG EP FT IS LU MG SP
     cosched solve --solver hastar --cluster eight <apps...>
     cosched solve --budget 5 --trace solve.jsonl <apps...>   # anytime + trace
+    cosched solve --save-problem mix.json BT CG EP FT  # export the instance
+    cosched solve --problem-file mix.json              # re-solve it anywhere
     cosched graph --cluster dual BT CG EP FT IS LU     # Fig. 3-style view
     cosched simulate --jobs 60 --machines 4            # online policies
+    cosched serve --port 8831 --workers 2              # memoizing HTTP service
+    cosched submit --url http://127.0.0.1:8831 BT CG EP FT
 
 ``solve`` co-schedules named catalog programs and prints the schedule plus
 its degradation breakdown; ``--budget SECONDS`` makes it anytime (best
 valid schedule at the deadline, ``--solver fallback`` cascades
 OA* > HA* > PG), ``--trace FILE`` streams JSONL search events, and
 ``--profile`` prints the perf-counter report even when the solve fails.
-``graph`` renders the co-scheduling graph with the optimal path
+``--save-problem``/``--problem-file`` round-trip the instance through the
+:mod:`repro.service` codec, so a solve is reproducible outside the
+catalog.  ``graph`` renders the co-scheduling graph with the optimal path
 highlighted; ``simulate`` races online placement policies on a random
-arrival trace.
+arrival trace.  ``serve`` runs the memoizing solve service
+(``docs/SERVICE.md``); ``submit`` sends one problem to a running service
+and prints the resolved schedule.
 """
 
 from __future__ import annotations
@@ -73,13 +81,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
+def _load_or_mix_problem(args: argparse.Namespace):
+    """Build the instance from ``--problem-file`` or catalog apps.
+
+    Returns ``(problem, None)`` on success, ``(None, exit_code)`` after
+    printing the error.  Shared by ``solve`` and ``submit``.
+    """
+    if getattr(args, "problem_file", None):
+        if args.apps:
+            print("give PROGRAMs or --problem-file, not both",
+                  file=sys.stderr)
+            return None, 2
+        from .service import CodecError, load_problem
+
+        try:
+            return load_problem(args.problem_file), None
+        except (OSError, ValueError, CodecError) as exc:
+            print(f"cannot load {args.problem_file}: {exc}", file=sys.stderr)
+            return None, 2
+    if not args.apps:
+        print("name catalog PROGRAMs or pass --problem-file", file=sys.stderr)
+        return None, 2
     unknown = [a for a in args.apps if a not in CATALOG]
     if unknown:
         print(f"unknown program(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(sorted(CATALOG))}", file=sys.stderr)
-        return 2
-    problem = serial_mix(args.apps, cluster=args.cluster)
+        return None, 2
+    return serial_mix(args.apps, cluster=args.cluster), None
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    problem, err = _load_or_mix_problem(args)
+    if problem is None:
+        return err
+    if args.save_problem:
+        from .service import save_problem
+
+        fingerprint = save_problem(problem, args.save_problem)
+        print(f"problem -> {args.save_problem} "
+              f"(fingerprint {fingerprint[:16]}...)", file=sys.stderr)
     solver = SOLVERS[args.solver]()
     if getattr(args, "workers", 1) > 1 and hasattr(solver, "parallel_workers"):
         solver.parallel_workers = args.workers
@@ -193,6 +233,83 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from .service import SolutionStore, SolveService, start_http_server
+
+    tracer = None
+    if args.trace:
+        from .perf import Tracer
+
+        tracer = Tracer(args.trace, flush_every=1)
+    store = SolutionStore(capacity=args.store_capacity, path=args.store)
+    service = SolveService(
+        store=store,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        default_solver=args.solver,
+        tracer=tracer,
+    )
+    server = start_http_server(service, host=args.host, port=args.port)
+    print(f"cosched service on {server.url} "
+          f"({args.workers} workers, default solver {args.solver!r}; "
+          "POST /solve, GET /status/<id>, GET /metrics; Ctrl-C stops)")
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        service.stop()
+        if tracer is not None:
+            tracer.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import urllib.error
+
+    from .service import ServiceClient, ServiceError, schedule_from_dict
+
+    problem, err = _load_or_mix_problem(args)
+    if problem is None:
+        return err
+    budget = None
+    if args.budget is not None:
+        if args.budget <= 0:
+            print("--budget must be positive seconds", file=sys.stderr)
+            return 2
+        budget = {"wall_time": args.budget}
+    client = ServiceClient(args.url)
+    try:
+        status = client.solve(
+            problem,
+            solver=args.solver,
+            budget=budget,
+            priority=args.priority,
+            refine=args.refine,
+            timeout=args.timeout,
+        )
+    except ServiceError as exc:
+        print(f"service refused the request: {exc}", file=sys.stderr)
+        return 1
+    except (urllib.error.URLError, TimeoutError) as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    if status["state"] != "done":
+        print(f"request failed: {status.get('error', status)}",
+              file=sys.stderr)
+        return 1
+    schedule = schedule_from_dict(status["schedule"])
+    print(schedule.pretty(problem.workload))
+    print(f"\ndisposition: {status['disposition']}   "
+          f"solved by: {status['solved_by']}   "
+          f"warm start: {status['warm_started']}")
+    print(f"total degradation: {status['objective']:.6f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cosched",
@@ -211,9 +328,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_solve = sub.add_parser("solve", help="co-schedule catalog programs")
-    p_solve.add_argument("apps", nargs="+", metavar="PROGRAM")
+    p_solve.add_argument("apps", nargs="*", metavar="PROGRAM")
     p_solve.add_argument("--cluster", default="quad",
                          choices=("dual", "quad", "eight"))
+    p_solve.add_argument(
+        "--problem-file", default=None, metavar="FILE.json",
+        help="solve a codec-serialized problem instead of catalog programs "
+             "(see docs/SERVICE.md for the document schema)",
+    )
+    p_solve.add_argument(
+        "--save-problem", default=None, metavar="FILE.json",
+        help="export the instance as canonical JSON (and print its "
+             "fingerprint) before solving, so the run is reproducible "
+             "with --problem-file",
+    )
     p_solve.add_argument("--solver", default="oastar", choices=tuple(SOLVERS))
     p_solve.add_argument(
         "--profile", action="store_true",
@@ -256,6 +384,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--mean-interarrival", type=float, default=0.5)
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    from .service.queue import SOLVER_FACTORIES
+
+    p_serve = sub.add_parser(
+        "serve", help="run the memoizing co-scheduling HTTP service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8831,
+                         help="bind port; 0 picks an ephemeral port")
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="solver worker threads draining the request queue",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="bound on queued requests; beyond it submissions are "
+             "rejected with reason 'queue_full'",
+    )
+    p_serve.add_argument(
+        "--solver", default="fallback", choices=sorted(SOLVER_FACTORIES),
+        help="default solver for requests that name none",
+    )
+    p_serve.add_argument(
+        "--store", default=None, metavar="FILE.jsonl",
+        help="persist the solution store to a JSONL file (replayed on "
+             "restart, so the memo survives)",
+    )
+    p_serve.add_argument(
+        "--store-capacity", type=int, default=1024, metavar="N",
+        help="in-memory LRU capacity of the solution store",
+    )
+    p_serve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="stream svc_* + solver JSONL events to FILE; summarize with "
+             "'python -m repro.analysis.trace_report FILE'",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one problem to a running cosched service"
+    )
+    p_submit.add_argument("apps", nargs="*", metavar="PROGRAM")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8831",
+                          help="service base URL")
+    p_submit.add_argument("--cluster", default="quad",
+                          choices=("dual", "quad", "eight"))
+    p_submit.add_argument(
+        "--problem-file", default=None, metavar="FILE.json",
+        help="submit a codec-serialized problem instead of catalog programs",
+    )
+    p_submit.add_argument(
+        "--solver", default=None, choices=sorted(SOLVER_FACTORIES),
+        help="solver to request (server default when omitted)",
+    )
+    p_submit.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-time budget to request for the solve",
+    )
+    p_submit.add_argument(
+        "--priority", type=int, default=1, metavar="N",
+        help="priority lane (lower is served first; 0 = interactive)",
+    )
+    p_submit.add_argument(
+        "--refine", action="store_true",
+        help="skip the cache for non-optimal entries and re-solve with "
+             "the cached schedule as a warm start",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="give up waiting for the ticket after this long",
+    )
+    p_submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -34,7 +34,16 @@ incumbent      the best-known complete schedule improves (objective)
 budget_stop    a budget limit trips (reason, consumption)
 fallback       a FallbackChain stage hands over to the next solver
 solve_end      the run returns (objective, wall time, optimal, stop reason)
+svc_enqueue    the solve service admits a request into a priority lane
+svc_coalesce   a request attaches to an in-flight solve (same fingerprint)
+svc_cache_hit  the solution store answers a request without solving
+svc_warm_start a cached incumbent seeds the solver for a request
+svc_reject     admission control refuses a request (queue full / budget)
 =============  ===============================================================
+
+The ``svc_*`` events come from :mod:`repro.service` (the serving layer),
+not from inside solvers; they interleave with search events when the
+service and its workers share one tracer.
 """
 
 from __future__ import annotations
@@ -45,7 +54,8 @@ from typing import IO, Iterator, List, Union
 
 __all__ = ["Tracer", "read_trace", "EVENT_TYPES"]
 
-#: Every event type the in-repo solvers emit (the schema above).
+#: Every event type the in-repo solvers and the solve service emit
+#: (the schema above).
 EVENT_TYPES = (
     "solve_start",
     "expand",
@@ -56,6 +66,11 @@ EVENT_TYPES = (
     "budget_stop",
     "fallback",
     "solve_end",
+    "svc_enqueue",
+    "svc_coalesce",
+    "svc_cache_hit",
+    "svc_warm_start",
+    "svc_reject",
 )
 
 

@@ -1,0 +1,540 @@
+"""Threaded solve queue: admission control, priority lanes, coalescing.
+
+:class:`SolveService` turns the one-shot ``Solver.solve`` call into a
+long-lived request pipeline:
+
+1. **fingerprint** the incoming problem (:mod:`repro.service.codec`);
+2. **cache** — if the :class:`~repro.service.store.SolutionStore` already
+   holds an answer (always final when proven optimal), resolve the request
+   immediately with zero solver work (``svc_cache_hit``);
+3. **coalesce** — if an identical problem is already queued or solving,
+   attach this request to that in-flight solve instead of enqueuing a
+   duplicate (``svc_coalesce``);
+4. **admit** — reject, with a structured reason, requests that would
+   overflow the bounded queue or whose budgets exceed the per-request /
+   global caps (``svc_reject``); otherwise enqueue into a priority lane
+   (``svc_enqueue``);
+5. **solve** — a worker thread pops the highest-priority request, seeds
+   the solver with the store's incumbent when one exists
+   (``svc_warm_start``), runs it under the request budget, records the
+   result back into the store, and resolves the request plus every
+   coalesced follower.
+
+Lower ``priority`` numbers are served first (0 = interactive, larger =
+batch).  All bookkeeping is lock-protected; tickets are resolved through
+a per-ticket :class:`threading.Event`, so callers ``wait()`` without
+polling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..core.problem import CoSchedulingProblem
+from ..perf.counters import PerfCounters
+from ..solvers import (
+    Budget,
+    BranchBoundIP,
+    FallbackChain,
+    HAStar,
+    OAStar,
+    PolitenessGreedy,
+    SimulatedAnnealing,
+    SwapHillClimber,
+)
+from .codec import problem_fingerprint, schedule_to_dict
+from .store import SolutionStore, StoreEntry
+
+__all__ = ["SOLVER_FACTORIES", "RequestRejected", "ServiceTicket",
+           "SolveService"]
+
+#: Solvers a request may name; each value builds a fresh instance (solver
+#: objects carry per-run state, so workers never share one).
+SOLVER_FACTORIES: Dict[str, Callable[[], object]] = {
+    "oastar": OAStar,
+    "hastar": HAStar,
+    "pg": PolitenessGreedy,
+    "hill": SwapHillClimber,
+    "anneal": SimulatedAnnealing,
+    "bb": BranchBoundIP,
+    "fallback": FallbackChain,
+}
+
+_BUDGET_FIELDS = ("wall_time", "max_expanded", "max_weight_evals")
+
+
+class RequestRejected(RuntimeError):
+    """Admission control refused the request.
+
+    ``reason`` is machine-readable (``"queue_full"`` /
+    ``"request_budget"`` / ``"global_budget"`` / ``"unknown_solver"``);
+    ``detail`` explains it for humans.  :meth:`to_dict` is the structured
+    error body the HTTP layer returns with status 429/400.
+    """
+
+    def __init__(self, reason: str, detail: str):
+        super().__init__(f"{reason}: {detail}")
+        self.reason = reason
+        self.detail = detail
+
+    def to_dict(self) -> dict:
+        return {"error": "rejected", "reason": self.reason,
+                "detail": self.detail}
+
+
+class ServiceTicket:
+    """Handle for one submitted request.
+
+    ``state`` moves ``queued → running → done|failed`` (cache hits and
+    coalesced followers jump straight to their terminal state when the
+    answer lands).  ``disposition`` records how the answer was produced:
+    ``"solved"``, ``"cache_hit"`` or ``"coalesced"``.
+    """
+
+    def __init__(self, ticket_id: str, fingerprint: str, solver: str,
+                 priority: int):
+        self.ticket_id = ticket_id
+        self.fingerprint = fingerprint
+        self.solver = solver
+        self.priority = priority
+        self.state = "queued"
+        self.disposition: Optional[str] = None
+        self.objective: Optional[float] = None
+        self.schedule = None  # CoSchedule once resolved
+        self.solved_by: Optional[str] = None
+        self.optimal = False
+        self.warm_started = False
+        self.time_seconds: Optional[float] = None
+        self.error: Optional[str] = None
+        self._event = threading.Event()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until resolved (or ``timeout``); returns :attr:`done`."""
+        return self._event.wait(timeout)
+
+    def _resolve(self, entry: StoreEntry, disposition: str,
+                 warm_started: bool = False,
+                 time_seconds: Optional[float] = None) -> None:
+        self.objective = entry.objective
+        self.schedule = entry.schedule
+        self.solved_by = entry.solver
+        self.optimal = entry.optimal
+        self.disposition = disposition
+        self.warm_started = warm_started
+        self.time_seconds = time_seconds
+        self.state = "done"
+        self._event.set()
+
+    def _fail(self, message: str) -> None:
+        self.error = message
+        self.state = "failed"
+        self._event.set()
+
+    def to_dict(self) -> dict:
+        """The ``GET /status/<id>`` payload."""
+        out = {
+            "id": self.ticket_id,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "solver": self.solver,
+            "priority": self.priority,
+            "disposition": self.disposition,
+        }
+        if self.state == "done":
+            out.update({
+                "objective": self.objective,
+                "schedule": schedule_to_dict(self.schedule),
+                "solved_by": self.solved_by,
+                "optimal": self.optimal,
+                "warm_started": self.warm_started,
+                "time_seconds": self.time_seconds,
+            })
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class SolveService:
+    """Memoizing, coalescing solve queue over a worker-thread pool.
+
+    Parameters
+    ----------
+    store:
+        Shared :class:`SolutionStore` (a fresh in-memory one by default).
+    workers:
+        Worker threads.  With one worker the solve order is exactly the
+        priority order, which makes coalescing deterministic in tests.
+    max_queue:
+        Bound on *queued* (not yet running) requests; submissions beyond
+        it are rejected with reason ``"queue_full"``.
+    default_solver:
+        Solver name used when a request names none.
+    per_request_budget:
+        Optional cap: each admitted request's budget must be limited to at
+        most this in every currency the cap sets.
+    global_budget:
+        Optional cap on the *total* budget the service may commit across
+        its lifetime, enforced at admission (a request with an unlimited
+        currency cannot be admitted under a global cap on that currency).
+    tracer:
+        Optional :class:`~repro.perf.Tracer`; the service emits ``svc_*``
+        events through it (guarded by an internal lock, so a shared sink
+        is safe even with several workers).
+    """
+
+    def __init__(
+        self,
+        store: Optional[SolutionStore] = None,
+        workers: int = 2,
+        max_queue: int = 64,
+        default_solver: str = "fallback",
+        per_request_budget: Optional[Budget] = None,
+        global_budget: Optional[Budget] = None,
+        tracer=None,
+        solver_factories: Optional[Dict[str, Callable[[], object]]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.store = store if store is not None else SolutionStore()
+        self.workers = workers
+        self.max_queue = max_queue
+        self.default_solver = default_solver
+        self.per_request_budget = per_request_budget
+        self.global_budget = global_budget
+        self.tracer = tracer
+        self.solver_factories = dict(solver_factories or SOLVER_FACTORIES)
+        if default_solver not in self.solver_factories:
+            raise ValueError(f"unknown default solver {default_solver!r}")
+
+        self.counters = PerfCounters()  # merged from every solved problem
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._heap: List[tuple] = []  # (priority, seq, ticket, problem, budget)
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        self._tickets: Dict[str, ServiceTicket] = {}
+        self._inflight: Dict[str, dict] = {}  # fp -> {"ticket", "followers"}
+        self._committed = {f: 0.0 for f in _BUDGET_FIELDS}
+        self._stats = {
+            "submitted": 0, "solves": 0, "cache_hits": 0, "coalesced": 0,
+            "rejected": 0, "warm_starts": 0, "errors": 0, "completed": 0,
+        }
+        self._lane_depth: Dict[int, int] = {}
+        self._threads: List[threading.Thread] = []
+        self._shutdown = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "SolveService":
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._threads:
+                return self
+            self._shutdown = False
+            for i in range(self.workers):
+                t = threading.Thread(target=self._worker_loop,
+                                     name=f"cosched-worker-{i}", daemon=True)
+                self._threads.append(t)
+        for t in self._threads:
+            t.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain nothing, stop soon: workers finish their current solve,
+        remaining queued tickets fail with ``"service stopped"``."""
+        with self._work:
+            self._shutdown = True
+            pending = [item[2] for item in self._heap]
+            self._heap.clear()
+            self._lane_depth.clear()
+            for ticket in pending:
+                self._inflight.pop(ticket.fingerprint, None)
+            self._work.notify_all()
+        for ticket in pending:
+            ticket._fail("service stopped")
+        for t in self._threads:
+            t.join(timeout)
+        self._threads = []
+
+    def __enter__(self) -> "SolveService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # tracing
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, ev: str, **fields) -> None:
+        if self.tracer is None:
+            return
+        with self._lock:
+            self.tracer.emit(ev, **fields)
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+
+    def _check_admission(self, budget: Optional[Budget]) -> None:
+        """Raise :class:`RequestRejected` if the request may not enter.
+        Caller holds the lock; commits the budget on success."""
+        if len(self._heap) >= self.max_queue:
+            raise RequestRejected(
+                "queue_full",
+                f"queue holds {len(self._heap)}/{self.max_queue} requests",
+            )
+        req = budget if budget is not None else Budget()
+        cap = self.per_request_budget
+        if cap is not None:
+            for f in _BUDGET_FIELDS:
+                limit = getattr(cap, f)
+                if limit is None:
+                    continue
+                asked = getattr(req, f)
+                if asked is None or asked > limit:
+                    raise RequestRejected(
+                        "request_budget",
+                        f"budget.{f}={asked} exceeds the per-request cap "
+                        f"{limit} (unlimited requests are not admitted "
+                        f"under a cap)",
+                    )
+        glob = self.global_budget
+        if glob is not None:
+            for f in _BUDGET_FIELDS:
+                limit = getattr(glob, f)
+                if limit is None:
+                    continue
+                asked = getattr(req, f)
+                if asked is None:
+                    raise RequestRejected(
+                        "global_budget",
+                        f"a global {f} cap is armed; requests must state a "
+                        f"finite budget.{f}",
+                    )
+                if self._committed[f] + asked > limit:
+                    raise RequestRejected(
+                        "global_budget",
+                        f"committing budget.{f}={asked} would exceed the "
+                        f"global cap ({self._committed[f]} of {limit} "
+                        f"already committed)",
+                    )
+            for f in _BUDGET_FIELDS:
+                if getattr(glob, f) is not None:
+                    self._committed[f] += getattr(req, f)
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        problem: CoSchedulingProblem,
+        solver: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        priority: int = 1,
+        refine: bool = False,
+    ) -> ServiceTicket:
+        """Submit a problem; returns a :class:`ServiceTicket`.
+
+        ``refine=True`` skips the cache for non-optimal entries (the entry
+        still warm-starts the solver); proven-optimal entries are always
+        served from cache.  Raises :class:`RequestRejected` when admission
+        control refuses the request.
+        """
+        solver_name = solver if solver is not None else self.default_solver
+        if solver_name not in self.solver_factories:
+            with self._lock:
+                self._stats["rejected"] += 1
+            exc = RequestRejected(
+                "unknown_solver",
+                f"{solver_name!r} is not one of "
+                f"{sorted(self.solver_factories)}",
+            )
+            self._emit("svc_reject", reason=exc.reason, solver=solver_name)
+            raise exc
+        fp = problem_fingerprint(problem)
+
+        entry = self.store.lookup(fp)
+        if entry is not None and (entry.optimal or not refine):
+            ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
+                                   solver_name, priority)
+            ticket._resolve(entry, "cache_hit", time_seconds=0.0)
+            with self._lock:
+                self._tickets[ticket.ticket_id] = ticket
+                self._stats["submitted"] += 1
+                self._stats["cache_hits"] += 1
+                self._stats["completed"] += 1
+            self._emit("svc_cache_hit", id=ticket.ticket_id, fingerprint=fp,
+                       objective=entry.objective, optimal=entry.optimal)
+            return ticket
+
+        with self._work:
+            self._stats["submitted"] += 1
+            inflight = self._inflight.get(fp)
+            if inflight is not None:
+                ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
+                                       solver_name, priority)
+                ticket.state = "queued"
+                inflight["followers"].append(ticket)
+                self._tickets[ticket.ticket_id] = ticket
+                self._stats["coalesced"] += 1
+                primary_id = inflight["ticket"].ticket_id
+            else:
+                try:
+                    self._check_admission(budget)
+                except RequestRejected as exc:
+                    self._stats["rejected"] += 1
+                    if self.tracer is not None:
+                        self.tracer.emit("svc_reject", reason=exc.reason,
+                                         fingerprint=fp)
+                    raise
+                ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
+                                       solver_name, priority)
+                self._tickets[ticket.ticket_id] = ticket
+                self._inflight[fp] = {"ticket": ticket, "followers": []}
+                heapq.heappush(
+                    self._heap,
+                    (priority, next(self._seq), ticket, problem, budget),
+                )
+                self._lane_depth[priority] = (
+                    self._lane_depth.get(priority, 0) + 1
+                )
+                if self.tracer is not None:
+                    self.tracer.emit("svc_enqueue", id=ticket.ticket_id,
+                                     fingerprint=fp, solver=solver_name,
+                                     priority=priority,
+                                     depth=len(self._heap))
+                self._work.notify()
+                return ticket
+        # Coalesced path (outside the lock for the trace emit).
+        self._emit("svc_coalesce", id=ticket.ticket_id, fingerprint=fp,
+                   primary=primary_id)
+        return ticket
+
+    def ticket(self, ticket_id: str) -> Optional[ServiceTicket]:
+        """Look up a ticket by id (``None`` if unknown)."""
+        with self._lock:
+            return self._tickets.get(ticket_id)
+
+    # ------------------------------------------------------------------ #
+    # workers
+    # ------------------------------------------------------------------ #
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._heap and not self._shutdown:
+                    self._work.wait()
+                if self._shutdown and not self._heap:
+                    return
+                priority, _, ticket, problem, budget = heapq.heappop(self._heap)
+                self._lane_depth[priority] -= 1
+                if self._lane_depth[priority] == 0:
+                    del self._lane_depth[priority]
+                ticket.state = "running"
+            self._run_one(ticket, problem, budget)
+
+    def _run_one(self, ticket: ServiceTicket, problem: CoSchedulingProblem,
+                 budget: Optional[Budget]) -> None:
+        fp = ticket.fingerprint
+        warm = self.store.peek(fp)
+        warm_schedule = None
+        if warm is not None and warm.schedule.u == problem.u and sum(
+            len(g) for g in warm.schedule.groups
+        ) == problem.n:
+            warm_schedule = warm.schedule
+            with self._lock:
+                self._stats["warm_starts"] += 1
+            self._emit("svc_warm_start", id=ticket.ticket_id, fingerprint=fp,
+                       incumbent=warm.objective, from_solver=warm.solver)
+        try:
+            solver = self.solver_factories[ticket.solver]()
+            result = solver.solve(problem, budget=budget,
+                                  initial_schedule=warm_schedule)
+            if result.schedule is None:
+                raise RuntimeError(
+                    f"{result.solver} returned no schedule "
+                    f"({result.budget_stopped or 'unknown reason'})"
+                )
+        except Exception as exc:  # noqa: BLE001 — workers must not die
+            with self._work:
+                inflight = self._inflight.pop(fp, None)
+                self._stats["errors"] += 1
+                self._stats["completed"] += 1
+            followers = inflight["followers"] if inflight else []
+            ticket._fail(str(exc))
+            for f in followers:
+                f._fail(str(exc))
+            return
+        self.store.record(fp, result.schedule, result.objective,
+                          result.solver, result.optimal)
+        entry = self.store.peek(fp) or StoreEntry(
+            fp, result.schedule, result.objective, result.solver,
+            result.optimal,
+        )
+        counters = getattr(problem, "counters", None)
+        with self._work:
+            inflight = self._inflight.pop(fp, None)
+            self._stats["solves"] += 1
+            self._stats["completed"] += 1
+            if counters is not None:
+                self.counters.merge(counters)
+        followers = inflight["followers"] if inflight else []
+        warm_used = warm_schedule is not None
+        ticket._resolve(entry, "solved", warm_started=warm_used,
+                        time_seconds=result.time_seconds)
+        for f in followers:
+            with self._lock:
+                self._stats["completed"] += 1
+            f._resolve(entry, "coalesced", warm_started=warm_used,
+                       time_seconds=result.time_seconds)
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+
+    def metrics(self) -> dict:
+        """The ``GET /metrics`` payload: request counters + derived rates,
+        store stats, queue depths per lane, merged solver PerfCounters."""
+        with self._lock:
+            stats = dict(self._stats)
+            lanes = {str(k): v for k, v in sorted(self._lane_depth.items())}
+            depth = len(self._heap)
+            inflight = len(self._inflight)
+            committed = {
+                f: v for f, v in self._committed.items() if v
+            }
+            solver_counters = self.counters.snapshot()
+        submitted = stats["submitted"] or 1
+        rates = {
+            "cache_hit_rate": stats["cache_hits"] / submitted,
+            "coalesce_rate": stats["coalesced"] / submitted,
+        }
+        return {
+            "requests": stats,
+            "rates": rates,
+            "queue": {
+                "depth": depth,
+                "inflight": inflight,
+                "lanes": lanes,
+                "workers": self.workers,
+                "max_queue": self.max_queue,
+                "committed_budget": committed,
+            },
+            "store": self.store.stats(),
+            "solver_counters": solver_counters,
+        }

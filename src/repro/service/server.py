@@ -1,0 +1,164 @@
+"""Stdlib-only HTTP front end for :class:`~repro.service.queue.SolveService`.
+
+Three endpoints, all JSON:
+
+``POST /solve``
+    Body: ``{"problem": <problem doc>, "solver": <name>, "budget":
+    {"wall_time": s, "max_expanded": n, "max_weight_evals": n},
+    "priority": int, "refine": bool, "wait": seconds}``.  Everything but
+    ``problem`` (a :func:`repro.service.codec.problem_to_dict` document)
+    is optional.  Replies 200 with the ticket status when the request is
+    already resolved (cache hit, or ``wait`` long enough), 202 with the
+    ticket id otherwise, 400 for malformed documents / unknown solvers,
+    and 429 with the structured :class:`RequestRejected` body when
+    admission control refuses.
+
+``GET /status/<id>``
+    The ticket's :meth:`~repro.service.queue.ServiceTicket.to_dict`
+    (404 for unknown ids).
+
+``GET /metrics``
+    :meth:`SolveService.metrics` — request counters and hit/coalesce
+    rates, queue depths per priority lane, store stats, and the merged
+    solver :class:`~repro.perf.PerfCounters` snapshot.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no dependencies
+beyond the standard library.  :func:`start_http_server` binds (port 0
+picks an ephemeral port), serves on a daemon thread, and returns the
+server; call ``shutdown()`` when done.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from ..solvers import Budget
+from .codec import CodecError, problem_from_dict
+from .queue import RequestRejected, SolveService
+
+__all__ = ["CoschedHTTPServer", "start_http_server"]
+
+
+def _budget_from_dict(d: Optional[dict]) -> Optional[Budget]:
+    if not d:
+        return None
+    unknown = set(d) - {"wall_time", "max_expanded", "max_weight_evals"}
+    if unknown:
+        raise ValueError(f"unknown budget field(s): {sorted(unknown)}")
+    return Budget(
+        wall_time=None if d.get("wall_time") is None else float(d["wall_time"]),
+        max_expanded=(None if d.get("max_expanded") is None
+                      else int(d["max_expanded"])),
+        max_weight_evals=(None if d.get("max_weight_evals") is None
+                          else int(d["max_weight_evals"])),
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server's :class:`SolveService`."""
+
+    server: "CoschedHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args) -> None:  # pragma: no cover
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        service = self.server.service
+        if self.path == "/metrics":
+            self._reply(200, service.metrics())
+            return
+        if self.path.startswith("/status/"):
+            ticket_id = self.path[len("/status/"):]
+            ticket = service.ticket(ticket_id)
+            if ticket is None:
+                self._reply(404, {"error": "not_found",
+                                  "detail": f"no ticket {ticket_id!r}"})
+                return
+            self._reply(200, ticket.to_dict())
+            return
+        self._reply(404, {"error": "not_found",
+                          "detail": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        if self.path != "/solve":
+            self._reply(404, {"error": "not_found",
+                              "detail": f"no route {self.path!r}"})
+            return
+        service = self.server.service
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            doc = json.loads(self.rfile.read(length) or b"{}")
+            problem = problem_from_dict(doc["problem"])
+            budget = _budget_from_dict(doc.get("budget"))
+            wait = float(doc.get("wait", 0.0))
+            priority = int(doc.get("priority", 1))
+            refine = bool(doc.get("refine", False))
+            solver = doc.get("solver")
+        except (KeyError, TypeError, ValueError, CodecError) as exc:
+            self._reply(400, {"error": "bad_request", "detail": str(exc)})
+            return
+        try:
+            ticket = service.submit(problem, solver=solver, budget=budget,
+                                    priority=priority, refine=refine)
+        except RequestRejected as exc:
+            status = 400 if exc.reason == "unknown_solver" else 429
+            self._reply(status, exc.to_dict())
+            return
+        if wait > 0:
+            ticket.wait(wait)
+        self._reply(200 if ticket.done else 202, ticket.to_dict())
+
+
+class CoschedHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`SolveService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SolveService,
+                 verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def start_http_server(
+    service: SolveService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> CoschedHTTPServer:
+    """Start serving ``service`` on a daemon thread; returns the server.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address`` or ``server.url``).  The service's worker
+    pool is started if it is not already running.  Stop with
+    ``server.shutdown()`` followed by ``service.stop()``.
+    """
+    service.start()
+    server = CoschedHTTPServer((host, port), service, verbose=verbose)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="cosched-http", daemon=True)
+    thread.start()
+    return server

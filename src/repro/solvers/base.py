@@ -68,6 +68,11 @@ class Solver(abc.ABC):
     #: :meth:`solve`, ``None`` between runs).
     _budget_state: Optional[BudgetState] = None
 
+    #: The warm-start incumbent of the run currently inside ``_solve``
+    #: (set by :meth:`solve` from ``initial_schedule=``, ``None`` between
+    #: runs and for cold starts).
+    _warm_schedule: Optional[CoSchedule] = None
+
     @abc.abstractmethod
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
         """Produce a result; ``time_seconds`` is filled in by :meth:`solve`."""
@@ -79,15 +84,45 @@ class Solver(abc.ABC):
             return BudgetState()
         return self._budget_state
 
+    def _warm_start_groups(self, problem: CoSchedulingProblem):
+        """The warm-start incumbent as mutable groups, or ``None``.
+
+        ``_solve`` implementations that can exploit an incumbent call this
+        where they would build their initial schedule; implementations that
+        ignore it still inherit the never-worse guarantee from
+        :meth:`solve`'s post-hoc comparison.
+        """
+        if self._warm_schedule is None:
+            return None
+        return [list(g) for g in self._warm_schedule.groups]
+
     def solve(
         self,
         problem: CoSchedulingProblem,
         budget: Optional[Budget] = None,
+        initial_schedule: Optional[CoSchedule] = None,
     ) -> SolveResult:
+        """Run the solver; ``initial_schedule`` warm-starts it.
+
+        A warm start is a known-valid incumbent (typically a cached
+        solution from :class:`repro.service.store.SolutionStore`).  Two
+        guarantees hold for every solver:
+
+        * the returned objective is never worse than the incumbent's —
+          if ``_solve`` comes back worse (or empty), the incumbent itself
+          is returned instead;
+        * ``stats["warm_start"]`` records the incumbent objective,
+          whether the run strictly improved on it, and whether the
+          incumbent had to be restored.
+        """
         counters = getattr(problem, "counters", None)
         tracer = getattr(counters, "tracer", None)
+        warm_obj: Optional[float] = None
+        if initial_schedule is not None:
+            warm_obj = evaluate_schedule(problem, initial_schedule).objective
         state = BudgetState(budget, counters=counters)
         self._budget_state = state
+        self._warm_schedule = initial_schedule
         if tracer is not None:
             tracer.emit(
                 "solve_start",
@@ -101,9 +136,25 @@ class Solver(abc.ABC):
             result = self._solve(problem)
         finally:
             self._budget_state = None
+            self._warm_schedule = None
         result.time_seconds = time.perf_counter() - t0
         if state.limited:
             result.stats.setdefault("budget", state.summary())
+        if warm_obj is not None:
+            tol = 1e-12 * (1.0 + abs(warm_obj))
+            restored = (
+                result.schedule is None or result.objective > warm_obj + tol
+            )
+            if restored:
+                # Never return worse than the incumbent we were handed.
+                result.schedule = initial_schedule
+                result.objective = warm_obj
+                result.optimal = False
+            result.stats["warm_start"] = {
+                "objective": warm_obj,
+                "improved": result.objective < warm_obj - tol,
+                "restored": restored,
+            }
         if result.schedule is not None:
             result.evaluation = evaluate_schedule(problem, result.schedule)
             # The solver's internal bookkeeping must agree with the

@@ -68,8 +68,14 @@ class FallbackChain(Solver):
         tracer = problem.counters.tracer
         candidates: List[SolveResult] = []
         stages: List[dict] = []
+        incumbent = self._warm_schedule  # chain's own warm start, if any
         for idx, member in enumerate(self.members):
-            sub = member.solve(problem, budget=budget.remaining())
+            sub = member.solve(problem, budget=budget.remaining(),
+                               initial_schedule=incumbent)
+            if sub.schedule is not None:
+                # Later (cheaper) stages inherit the best schedule so far,
+                # so a fallback can only refine, never regress.
+                incumbent = sub.schedule
             for key in _WORK_KEYS:
                 work = sub.stats.get(key)
                 if isinstance(work, (int, float)) and work > 0:

@@ -121,13 +121,23 @@ class BranchBoundIP(Solver):
         budget = self._active_budget()
         tracer = problem.counters.tracer
 
-        # Initial incumbent: PG greedy.
+        # Initial incumbent: PG greedy, or a warm-start schedule if it is
+        # strictly better (a tighter incumbent prunes more of the tree).
         pg = PolitenessGreedy().solve(problem)
         incumbent_obj = pg.objective
         incumbent_sched = pg.schedule
+        incumbent_src = "greedy-init"
+        if self._warm_schedule is not None:
+            from ..core.objective import evaluate_schedule
+
+            warm_obj = evaluate_schedule(problem, self._warm_schedule).objective
+            if warm_obj < incumbent_obj:
+                incumbent_obj = warm_obj
+                incumbent_sched = self._warm_schedule
+                incumbent_src = "warm-start"
         if tracer is not None:
             tracer.emit("incumbent", solver=self.name, objective=incumbent_obj,
-                        source="greedy-init", bb_nodes=0)
+                        source=incumbent_src, bb_nodes=0)
 
         t0 = time.perf_counter()
         nodes_explored = 0

@@ -49,6 +49,9 @@ class SwapHillClimber(Solver):
         self.name = name or f"hill-climb({start})"
 
     def _initial(self, problem: CoSchedulingProblem) -> List[List[int]]:
+        warm = self._warm_start_groups(problem)
+        if warm is not None:
+            return warm
         if self.start == "greedy":
             result = PolitenessGreedy().solve(problem)
             return [list(g) for g in result.schedule.groups]
@@ -147,8 +150,10 @@ class SimulatedAnnealing(Solver):
         budget = self._active_budget()
         tracer = problem.counters.tracer
         rng = random.Random(self.seed)
-        init = SwapHillClimber(start=self.start, max_passes=0)
-        groups = init._initial(problem)
+        groups = self._warm_start_groups(problem)
+        if groups is None:
+            init = SwapHillClimber(start=self.start, max_passes=0)
+            groups = init._initial(problem)
         m, u = len(groups), problem.u
         current = _objective_of_groups(problem, groups)
         best = current

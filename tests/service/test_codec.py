@@ -1,0 +1,382 @@
+"""Codec + fingerprint properties: round-trip, relabel invariance,
+parameter sensitivity.
+
+The fingerprint contract under test (docs/SERVICE.md):
+
+* round-trip — ``problem_from_dict(problem_to_dict(p))`` solves and
+  fingerprints identically across every degradation model and job kind;
+* invariance — permuting the job list (process relabeling) never changes
+  the fingerprint, and neither do display names or imaginary-pad
+  parameters (which the degradation path never consults);
+* sensitivity — changing any parameter that can affect any degradation
+  (a rate, a single time, κ, saturation, a pairwise entry, a profile
+  field, a halo volume, the machine, the core count) changes it.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.comm.model import CommunicationModel
+from repro.comm.topology import Decomposition
+from repro.core.degradation import (
+    AsymmetricContentionModel,
+    MatrixDegradationModel,
+    MissRatePressureModel,
+    SDCDegradationModel,
+)
+from repro.core.jobs import Workload, pc_job, pe_job, serial_job
+from repro.core.machine import CLUSTERS, CacheSpec, ClusterSpec, MachineSpec
+from repro.core.objective import evaluate_schedule
+from repro.core.problem import CoSchedulingProblem
+from repro.core.schedule import CoSchedule
+from repro.service import (
+    CodecError,
+    load_problem,
+    problem_fingerprint,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.solvers import PolitenessGreedy
+from repro.workloads.catalog import ProgramProfile
+from repro.workloads.synthetic import (
+    random_asymmetric_instance,
+    random_interaction_instance,
+    random_mixed_instance,
+    random_profile_instance,
+    random_serial_instance,
+)
+
+BUILDERS = {
+    "miss_rate": lambda seed: random_serial_instance(8, seed=seed),
+    "miss_rate_sat": lambda seed: random_serial_instance(
+        8, seed=seed, saturation=0.7
+    ),
+    "asymmetric": lambda seed: random_asymmetric_instance(8, seed=seed),
+    "matrix": lambda seed: random_interaction_instance(8, seed=seed),
+    "sdc": lambda seed: random_profile_instance(8, seed=seed),
+    "mixed_pe": lambda seed: random_mixed_instance(
+        4, pe_shapes=(4,), seed=seed
+    ),
+    "mixed_pc": lambda seed: random_mixed_instance(
+        2, pe_shapes=(2,), pc_shapes=(4,), seed=seed
+    ),
+}
+
+
+# --------------------------------------------------------------------- #
+# round-trip
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+def test_round_trip_preserves_semantics_and_fingerprint(kind, seed):
+    problem = BUILDERS[kind](seed)
+    clone = problem_from_dict(problem_to_dict(problem))
+
+    assert clone.n == problem.n
+    assert clone.u == problem.u
+    assert (clone.comm is None) == (problem.comm is None)
+    assert problem_fingerprint(clone) == problem_fingerprint(problem)
+
+    # Same schedule, same objective — the decisive semantic check.
+    sched = PolitenessGreedy().solve(problem).schedule
+    assert evaluate_schedule(clone, sched).objective == pytest.approx(
+        evaluate_schedule(problem, sched).objective, rel=1e-12
+    )
+
+
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+def test_to_dict_is_json_serializable(kind):
+    doc = problem_to_dict(BUILDERS[kind](0))
+    again = json.loads(json.dumps(doc))
+    assert problem_fingerprint(problem_from_dict(again)) == \
+        problem_fingerprint(problem_from_dict(doc))
+
+
+def test_save_load_file_round_trip(tmp_path):
+    problem = BUILDERS["mixed_pc"](3)
+    path = str(tmp_path / "problem.json")
+    fingerprint = save_problem(problem, path)
+    loaded = load_problem(path)
+    assert problem_fingerprint(loaded) == fingerprint
+
+
+# --------------------------------------------------------------------- #
+# relabeling invariance
+# --------------------------------------------------------------------- #
+
+_RATES = [0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.72, 0.33]
+_TIMES = [1.0, 2.0, 1.5, 3.0, 2.5, 1.2, 2.2, 1.7]
+
+
+def _serial_problem(order, pad_rate=0.5, names=None, cluster="quad"):
+    """8 serial jobs laid out in ``order`` (a permutation of range(8))."""
+    cl = CLUSTERS[cluster]
+    names = names or [f"job{k}" for k in order]
+    jobs = [serial_job(i, names[i]) for i in range(len(order))]
+    wl = Workload(jobs, cores_per_machine=cl.cores)
+    rates = [_RATES[k] for k in order] + [pad_rate] * wl.n_imaginary
+    times = [_TIMES[k] for k in order] + [1.0] * wl.n_imaginary
+    model = MissRatePressureModel(rates, kappa=0.4, saturation=0.8,
+                                  single_times=times)
+    return CoSchedulingProblem(wl, cl, model)
+
+
+@pytest.mark.parametrize("order", [
+    [1, 0, 2, 3, 4, 5, 6, 7],
+    [7, 6, 5, 4, 3, 2, 1, 0],
+    [3, 1, 4, 0, 5, 2, 7, 6],
+    [2, 7, 0, 5, 3, 6, 1, 4],
+])
+def test_fingerprint_invariant_under_process_relabeling(order):
+    assert problem_fingerprint(_serial_problem(order)) == \
+        problem_fingerprint(_serial_problem(list(range(8))))
+
+
+def test_fingerprint_ignores_job_names():
+    a = _serial_problem(list(range(8)))
+    b = _serial_problem(list(range(8)),
+                        names=[f"other{i}" for i in range(8)])
+    assert problem_fingerprint(a) == problem_fingerprint(b)
+
+
+def test_fingerprint_ignores_imaginary_pad_parameters():
+    # 6 jobs on quad cores -> 2 imaginary pads whose model rows are inert.
+    cl = CLUSTERS["quad"]
+    jobs = [serial_job(i, f"j{i}") for i in range(6)]
+    wl = Workload(jobs, cores_per_machine=cl.cores)
+
+    def build(pad_rate):
+        rates = _RATES[:6] + [pad_rate] * wl.n_imaginary
+        return CoSchedulingProblem(
+            wl, cl, MissRatePressureModel(rates, kappa=0.4)
+        )
+
+    assert problem_fingerprint(build(0.1)) == problem_fingerprint(build(0.9))
+
+
+def test_fingerprint_invariant_for_multiproc_job_order():
+    cl = CLUSTERS["quad"]
+
+    def build(flip):
+        specs = [("pe8", 8, 0.2), ("pe4", 4, 0.6)]
+        if flip:
+            specs = specs[::-1]
+        jobs, rates = [], []
+        for jid, (name, width, rate) in enumerate(specs):
+            jobs.append(pe_job(jid, name, width))
+            rates += [rate] * width
+        wl = Workload(jobs, cores_per_machine=cl.cores)
+        rates += [0.5] * wl.n_imaginary
+        return CoSchedulingProblem(
+            wl, cl, MissRatePressureModel(rates, kappa=0.3)
+        )
+
+    assert problem_fingerprint(build(False)) == problem_fingerprint(build(True))
+
+
+def test_fingerprint_invariant_for_matrix_model_relabeling():
+    cl = CLUSTERS["dual"]
+    rng = np.random.default_rng(11)
+    D = rng.uniform(0.05, 0.9, size=(4, 4))
+    np.fill_diagonal(D, 0.0)
+
+    def build(order):
+        jobs = [serial_job(i, f"j{order[i]}") for i in range(4)]
+        wl = Workload(jobs, cores_per_machine=cl.cores)
+        perm = np.asarray(order)
+        return CoSchedulingProblem(
+            wl, cl, MatrixDegradationModel(pairwise=D[np.ix_(perm, perm)])
+        )
+
+    assert problem_fingerprint(build([2, 0, 3, 1])) == \
+        problem_fingerprint(build([0, 1, 2, 3]))
+
+
+# --------------------------------------------------------------------- #
+# sensitivity: every parameter that can matter moves the fingerprint
+# --------------------------------------------------------------------- #
+
+
+def _fp_of_serial(**overrides):
+    base = dict(rates=list(_RATES), kappa=0.4, saturation=0.8,
+                times=list(_TIMES), cluster="quad")
+    base.update(overrides)
+    cl = CLUSTERS[base["cluster"]]
+    jobs = [serial_job(i, f"j{i}") for i in range(8)]
+    wl = Workload(jobs, cores_per_machine=cl.cores)
+    model = MissRatePressureModel(
+        base["rates"] + [0.5] * wl.n_imaginary,
+        kappa=base["kappa"],
+        saturation=base["saturation"],
+        single_times=base["times"] + [1.0] * wl.n_imaginary,
+    )
+    return problem_fingerprint(CoSchedulingProblem(wl, cl, model))
+
+
+@pytest.mark.parametrize("override", [
+    {"rates": [0.16] + _RATES[1:]},
+    {"kappa": 0.41},
+    {"saturation": 0.81},
+    {"saturation": None},
+    {"times": [1.1] + _TIMES[1:]},
+    {"cluster": "dual"},     # changes u — a different partitioning problem
+    {"cluster": "eight"},
+])
+def test_fingerprint_sensitive_serial_parameters(override):
+    assert _fp_of_serial(**override) != _fp_of_serial()
+
+
+def test_fingerprint_sensitive_asymmetric_parameters():
+    cl = CLUSTERS["quad"]
+    jobs = [serial_job(i, f"j{i}") for i in range(8)]
+    wl = Workload(jobs, cores_per_machine=cl.cores)
+
+    def fp(s0=0.3, a0=0.7, kappa=0.5):
+        s = [s0, 0.2, 0.4, 0.6, 0.1, 0.8, 0.5, 0.35]
+        a = [a0, 0.5, 0.3, 0.2, 0.9, 0.4, 0.6, 0.45]
+        return problem_fingerprint(CoSchedulingProblem(
+            wl, cl, AsymmetricContentionModel(s, a, kappa=kappa)
+        ))
+
+    assert fp() == fp()
+    assert fp(s0=0.31) != fp()
+    assert fp(a0=0.71) != fp()
+    assert fp(kappa=0.51) != fp()
+
+
+def test_fingerprint_sensitive_matrix_entries():
+    cl = CLUSTERS["dual"]
+    jobs = [serial_job(i, f"j{i}") for i in range(4)]
+    wl = Workload(jobs, cores_per_machine=cl.cores)
+    D = np.full((4, 4), 0.3)
+    np.fill_diagonal(D, 0.0)
+
+    def fp(matrix, exact=None):
+        return problem_fingerprint(CoSchedulingProblem(
+            wl, cl, MatrixDegradationModel(pairwise=matrix, exact=exact)
+        ))
+
+    D2 = D.copy()
+    D2[1, 2] = 0.31
+    assert fp(D2) != fp(D)
+    assert fp(D, exact={(0, frozenset({1})): 0.9}) != fp(D)
+
+
+@pytest.mark.parametrize("field", ["cpu_cycles", "accesses", "miss_rate",
+                                   "reuse_decay"])
+def test_fingerprint_sensitive_sdc_profile_fields(field):
+    cl = CLUSTERS["quad"]
+    jobs = [serial_job(i, f"j{i}", profile_name=f"p{i}") for i in range(4)]
+    wl = Workload(jobs, cores_per_machine=cl.cores)
+
+    def fp(bump=0.0):
+        profiles = {}
+        for i in range(4):
+            params = dict(cpu_cycles=1e9 * (i + 1), accesses=2e8,
+                          miss_rate=0.2 + 0.1 * i, reuse_decay=0.5)
+            if i == 0:
+                params[field] += bump
+            profiles[f"p{i}"] = ProgramProfile(name=f"p{i}", **params)
+        return problem_fingerprint(CoSchedulingProblem(
+            wl, cl, SDCDegradationModel(wl, cl.machine, profiles)
+        ))
+
+    assert fp() == fp()
+    assert fp(bump=1e-3) != fp()
+
+
+def test_fingerprint_sensitive_machine_and_comm():
+    base = random_mixed_instance(2, pc_shapes=(4,), seed=5)
+    fp0 = problem_fingerprint(base)
+
+    # Bandwidth matters once communication is modelled.
+    smaller_bw = ClusterSpec(
+        machine=base.cluster.machine,
+        bandwidth_bytes_per_s=base.cluster.bandwidth_bytes_per_s * 0.5,
+    )
+    with_bw = CoSchedulingProblem(
+        base.workload, smaller_bw, base.model,
+        CommunicationModel(base.workload, smaller_bw.bandwidth_bytes_per_s),
+    )
+    assert problem_fingerprint(with_bw) != fp0
+
+    # Dropping the communication model entirely also matters.
+    no_comm = CoSchedulingProblem(base.workload, base.cluster, base.model)
+    assert problem_fingerprint(no_comm) != fp0
+
+    # A different shared cache is a different machine.
+    m = base.cluster.machine
+    machine2 = MachineSpec(
+        name=m.name, cores=m.cores,
+        shared_cache=CacheSpec(size_bytes=m.shared_cache.size_bytes * 2,
+                               associativity=m.shared_cache.associativity,
+                               line_bytes=m.shared_cache.line_bytes),
+        clock_hz=m.clock_hz, miss_penalty_cycles=m.miss_penalty_cycles,
+    )
+    cluster2 = ClusterSpec(machine=machine2,
+                           bandwidth_bytes_per_s=base.cluster.bandwidth_bytes_per_s)
+    bigger_cache = CoSchedulingProblem(
+        base.workload, cluster2, base.model,
+        CommunicationModel(base.workload, cluster2.bandwidth_bytes_per_s),
+    )
+    assert problem_fingerprint(bigger_cache) != fp0
+
+
+def test_fingerprint_sensitive_topology():
+    def build(halo):
+        return random_mixed_instance(2, pc_shapes=(4,), seed=5,
+                                     halo_bytes=halo)
+
+    assert problem_fingerprint(build(5e9)) != problem_fingerprint(build(6e9))
+
+
+# --------------------------------------------------------------------- #
+# schedules + error paths
+# --------------------------------------------------------------------- #
+
+
+def test_schedule_round_trip():
+    sched = CoSchedule.from_groups([[0, 3], [1, 2]], u=2)
+    clone = schedule_from_dict(schedule_to_dict(sched))
+    assert clone == sched
+
+
+def test_schedule_codec_rejects_invalid_documents():
+    with pytest.raises(CodecError):
+        schedule_from_dict({"format": "nope"})
+    doc = schedule_to_dict(CoSchedule.from_groups([[0, 1]], u=2))
+    doc["groups"] = [[0, 0]]  # duplicate pid
+    with pytest.raises(CodecError):
+        schedule_from_dict(doc)
+
+
+def test_problem_codec_rejects_bad_documents():
+    with pytest.raises(CodecError):
+        problem_from_dict({"format": "something-else"})
+    doc = problem_to_dict(random_serial_instance(8, seed=0))
+    doc["version"] = 99
+    with pytest.raises(CodecError):
+        problem_from_dict(doc)
+    doc = problem_to_dict(random_serial_instance(8, seed=0))
+    doc["model"]["miss_rates"] = doc["model"]["miss_rates"][:-1]
+    with pytest.raises(CodecError):
+        problem_from_dict(doc)
+
+
+def test_node_extra_cost_hook_refuses_to_serialize():
+    base = random_serial_instance(8, seed=0)
+    hooked = CoSchedulingProblem(
+        base.workload, base.cluster, base.model,
+        node_extra_cost=lambda coset: 0.0,
+    )
+    with pytest.raises(CodecError):
+        problem_to_dict(hooked)
+    with pytest.raises(CodecError):
+        problem_fingerprint(hooked)

@@ -1,0 +1,88 @@
+"""SolutionStore: LRU behaviour, monotone merge, JSONL persistence."""
+
+import threading
+
+import pytest
+
+from repro.core.schedule import CoSchedule
+from repro.service import SolutionStore
+
+S1 = CoSchedule.from_groups([[0, 1], [2, 3]], u=2)
+S2 = CoSchedule.from_groups([[0, 2], [1, 3]], u=2)
+
+
+def test_lookup_miss_then_hit():
+    store = SolutionStore()
+    assert store.lookup("fp") is None
+    store.record("fp", S1, 1.5, "pg")
+    entry = store.lookup("fp")
+    assert entry.schedule == S1
+    assert entry.objective == 1.5
+    assert entry.solver == "pg"
+    stats = store.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+
+
+def test_record_is_monotone():
+    store = SolutionStore()
+    assert store.record("fp", S1, 2.0, "pg")
+    # Worse objective is refused.
+    assert not store.record("fp", S2, 3.0, "hill")
+    assert store.peek("fp").objective == 2.0
+    # Strictly better replaces.
+    assert store.record("fp", S2, 1.0, "hill")
+    assert store.peek("fp").solver == "hill"
+    # Equal-quality optimality proof upgrades in place.
+    assert store.record("fp", S2, 1.0, "oastar", optimal=True)
+    assert store.peek("fp").optimal
+    # ... but a worse "optimal" cannot clobber a better schedule.
+    assert not store.record("fp", S1, 1.5, "bb", optimal=True)
+    assert store.peek("fp").objective == 1.0
+
+
+def test_lru_eviction_prefers_recently_used():
+    store = SolutionStore(capacity=2)
+    store.record("a", S1, 1.0, "pg")
+    store.record("b", S1, 1.0, "pg")
+    store.lookup("a")               # refresh a; b is now least-recent
+    store.record("c", S1, 1.0, "pg")
+    assert "a" in store and "c" in store
+    assert "b" not in store
+    assert store.stats()["evictions"] == 1
+
+
+def test_jsonl_persistence_replays_monotonically(tmp_path):
+    path = str(tmp_path / "memo.jsonl")
+    store = SolutionStore(path=path)
+    store.record("fp", S1, 2.0, "pg")
+    store.record("fp", S2, 1.0, "hill")
+    store.record("xx", S1, 5.0, "pg")
+
+    fresh = SolutionStore(path=path)
+    assert len(fresh) == 2
+    assert fresh.peek("fp").objective == 1.0
+    assert fresh.peek("fp").schedule == S2
+    # Replay is not traffic: counters start clean.
+    assert fresh.stats()["hits"] == 0
+    assert fresh.stats()["updates"] == 0
+
+
+def test_concurrent_records_keep_best():
+    store = SolutionStore()
+
+    def offer(obj):
+        store.record("fp", S1, obj, f"s{obj}")
+
+    threads = [threading.Thread(target=offer, args=(1.0 + 0.01 * i,))
+               for i in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert store.peek("fp").objective == pytest.approx(1.0)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SolutionStore(capacity=0)
