@@ -32,13 +32,16 @@ problems through the codec.  See ``docs/SERVICE.md``.
 
 from .codec import (
     CodecError,
+    canonical_pid_map,
     canonical_problem,
     load_problem,
     problem_fingerprint,
     problem_from_dict,
     problem_to_dict,
     save_problem,
+    schedule_from_canonical,
     schedule_from_dict,
+    schedule_to_canonical,
     schedule_to_dict,
 )
 from .store import SolutionStore, StoreEntry
@@ -48,13 +51,16 @@ from .client import ServiceClient, ServiceError
 
 __all__ = [
     "CodecError",
+    "canonical_pid_map",
     "canonical_problem",
     "load_problem",
     "problem_fingerprint",
     "problem_from_dict",
     "problem_to_dict",
     "save_problem",
+    "schedule_from_canonical",
     "schedule_from_dict",
+    "schedule_to_canonical",
     "schedule_to_dict",
     "SolutionStore",
     "StoreEntry",

@@ -58,6 +58,9 @@ __all__ = [
     "save_problem",
     "load_problem",
     "canonical_problem",
+    "canonical_pid_map",
+    "schedule_to_canonical",
+    "schedule_from_canonical",
     "problem_fingerprint",
     "schedule_to_dict",
     "schedule_from_dict",
@@ -394,6 +397,78 @@ def _job_param_descriptor(problem: CoSchedulingProblem, job: Job) -> list:
     raise CodecError(f"model {type(model).__name__} has no canonical form")
 
 
+def _canonical_jobs(problem: CoSchedulingProblem) -> Tuple[list, Dict[int, int]]:
+    """Sorted job descriptors plus the real-pid relabeling they induce.
+
+    Jobs are sorted by ``(kind, nprocs, topology, per-rank parameters)``;
+    process identities are re-assigned in that order (each job's ranks
+    stay in rank order).  Returns ``(jobs_canon, new_pid_of)`` where
+    ``new_pid_of`` maps every *real* pid to its canonical pid.
+    """
+    wl = problem.workload
+    descriptors = []
+    for job in wl.jobs:
+        topo = (None if job.topology is None
+                else sorted(_topology_to_dict(job.topology).items()))
+        desc = [job.kind.value, job.nprocs, topo,
+                _job_param_descriptor(problem, job)]
+        descriptors.append((_canonical_json(desc), job.job_id, desc))
+    descriptors.sort(key=lambda t: (t[0], t[1]))
+
+    new_pid_of: Dict[int, int] = {}
+    jobs_canon = []
+    for _, job_id, desc in descriptors:
+        for pid in wl.processes_of(job_id):
+            new_pid_of[pid] = len(new_pid_of)
+        jobs_canon.append(desc)
+    return jobs_canon, new_pid_of
+
+
+def canonical_pid_map(problem: CoSchedulingProblem) -> List[int]:
+    """``pid -> canonical pid`` over *all* ``n`` processes.
+
+    Real processes follow the canonical job order of
+    :func:`canonical_problem`; imaginary padding (interchangeable by
+    construction — zero degradation either way) fills the tail slots in
+    ascending original-pid order.  The map is a bijection on ``0..n-1``,
+    so schedules can be translated losslessly between a problem's own
+    labeling and the canonical one — which is how the solution store
+    serves one cached schedule to every relabeling of the same problem.
+    """
+    _, new_pid_of = _canonical_jobs(problem)
+    wl = problem.workload
+    out = [-1] * wl.n
+    for old, new in new_pid_of.items():
+        out[old] = new
+    nxt = len(new_pid_of)
+    for pid in range(wl.n):
+        if wl.is_imaginary(pid):
+            out[pid] = nxt
+            nxt += 1
+    return out
+
+
+def schedule_to_canonical(problem: CoSchedulingProblem,
+                          schedule: CoSchedule) -> CoSchedule:
+    """Re-express ``schedule`` (in ``problem``'s labeling) in canonical pids."""
+    m = canonical_pid_map(problem)
+    return CoSchedule.from_groups(
+        [[m[p] for p in g] for g in schedule.groups], u=schedule.u
+    )
+
+
+def schedule_from_canonical(problem: CoSchedulingProblem,
+                            schedule: CoSchedule) -> CoSchedule:
+    """Re-express a canonical-labeled ``schedule`` in ``problem``'s own pids."""
+    m = canonical_pid_map(problem)
+    inv = [0] * len(m)
+    for old, new in enumerate(m):
+        inv[new] = old
+    return CoSchedule.from_groups(
+        [[inv[p] for p in g] for g in schedule.groups], u=schedule.u
+    )
+
+
 def canonical_problem(problem: CoSchedulingProblem) -> dict:
     """The relabeling-invariant structure :func:`problem_fingerprint` hashes.
 
@@ -407,22 +482,7 @@ def canonical_problem(problem: CoSchedulingProblem) -> dict:
     wl = problem.workload
     model = problem.model
 
-    descriptors = []
-    for job in wl.jobs:
-        topo = (None if job.topology is None
-                else sorted(_topology_to_dict(job.topology).items()))
-        desc = [job.kind.value, job.nprocs, topo,
-                _job_param_descriptor(problem, job)]
-        descriptors.append((_canonical_json(desc), job.job_id, desc))
-    descriptors.sort(key=lambda t: (t[0], t[1]))
-
-    # Canonical pid order: each job's ranks in order, jobs in sorted order.
-    new_pid_of: Dict[int, int] = {}
-    jobs_canon = []
-    for _, job_id, desc in descriptors:
-        for pid in wl.processes_of(job_id):
-            new_pid_of[pid] = len(new_pid_of)
-        jobs_canon.append(desc)
+    jobs_canon, new_pid_of = _canonical_jobs(problem)
 
     model_canon: dict = {"type": None}
     if isinstance(model, SDCDegradationModel):

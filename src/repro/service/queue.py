@@ -34,6 +34,7 @@ import threading
 from typing import Callable, Dict, List, Optional
 
 from ..core.problem import CoSchedulingProblem
+from ..core.schedule import CoSchedule
 from ..perf.counters import PerfCounters
 from ..solvers import (
     Budget,
@@ -45,7 +46,13 @@ from ..solvers import (
     SimulatedAnnealing,
     SwapHillClimber,
 )
-from .codec import problem_fingerprint, schedule_to_dict
+from .codec import (
+    canonical_pid_map,
+    problem_fingerprint,
+    schedule_from_canonical,
+    schedule_to_canonical,
+    schedule_to_dict,
+)
 from .store import SolutionStore, StoreEntry
 
 __all__ = ["SOLVER_FACTORIES", "RequestRejected", "ServiceTicket",
@@ -92,14 +99,23 @@ class ServiceTicket:
     coalesced followers jump straight to their terminal state when the
     answer lands).  ``disposition`` records how the answer was produced:
     ``"solved"``, ``"cache_hit"`` or ``"coalesced"``.
+
+    ``pid_map`` is the submitter problem's canonical pid map
+    (:func:`~repro.service.codec.canonical_pid_map`): store entries hold
+    schedules in canonical labeling, and each ticket translates them back
+    into its *own* submitter's labeling on resolve.  Coalesced followers
+    and cache hits may come from a different relabeling of the same
+    problem than the one that produced the cached schedule, so the
+    translation is per-ticket, not per-solve.
     """
 
     def __init__(self, ticket_id: str, fingerprint: str, solver: str,
-                 priority: int):
+                 priority: int, pid_map: Optional[List[int]] = None):
         self.ticket_id = ticket_id
         self.fingerprint = fingerprint
         self.solver = solver
         self.priority = priority
+        self._pid_map = pid_map
         self.state = "queued"
         self.disposition: Optional[str] = None
         self.objective: Optional[float] = None
@@ -121,11 +137,22 @@ class ServiceTicket:
         """Block until resolved (or ``timeout``); returns :attr:`done`."""
         return self._event.wait(timeout)
 
+    def _localize(self, schedule: Optional[CoSchedule]) -> Optional[CoSchedule]:
+        """Canonical-labeled schedule -> this submitter's labeling."""
+        if schedule is None or self._pid_map is None:
+            return schedule
+        inv = [0] * len(self._pid_map)
+        for old, new in enumerate(self._pid_map):
+            inv[new] = old
+        return CoSchedule.from_groups(
+            [[inv[p] for p in g] for g in schedule.groups], u=schedule.u
+        )
+
     def _resolve(self, entry: StoreEntry, disposition: str,
                  warm_started: bool = False,
                  time_seconds: Optional[float] = None) -> None:
         self.objective = entry.objective
-        self.schedule = entry.schedule
+        self.schedule = self._localize(entry.schedule)
         self.solved_by = entry.solver
         self.optimal = entry.optimal
         self.disposition = disposition
@@ -257,13 +284,20 @@ class SolveService:
         remaining queued tickets fail with ``"service stopped"``."""
         with self._work:
             self._shutdown = True
-            pending = [item[2] for item in self._heap]
+            victims = []
+            for item in self._heap:
+                ticket = item[2]
+                victims.append(ticket)
+                # A queued primary's inflight entry carries its coalesced
+                # followers; they must fail too or their wait() hangs.
+                # (Running solves keep their entries and resolve normally.)
+                inflight = self._inflight.pop(ticket.fingerprint, None)
+                if inflight is not None:
+                    victims.extend(inflight["followers"])
             self._heap.clear()
             self._lane_depth.clear()
-            for ticket in pending:
-                self._inflight.pop(ticket.fingerprint, None)
             self._work.notify_all()
-        for ticket in pending:
+        for ticket in victims:
             ticket._fail("service stopped")
         for t in self._threads:
             t.join(timeout)
@@ -367,63 +401,67 @@ class SolveService:
             self._emit("svc_reject", reason=exc.reason, solver=solver_name)
             raise exc
         fp = problem_fingerprint(problem)
+        pid_map = canonical_pid_map(problem)
 
-        entry = self.store.lookup(fp)
-        if entry is not None and (entry.optimal or not refine):
-            ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
-                                   solver_name, priority)
-            ticket._resolve(entry, "cache_hit", time_seconds=0.0)
-            with self._lock:
-                self._tickets[ticket.ticket_id] = ticket
-                self._stats["submitted"] += 1
-                self._stats["cache_hits"] += 1
-                self._stats["completed"] += 1
-            self._emit("svc_cache_hit", id=ticket.ticket_id, fingerprint=fp,
-                       objective=entry.objective, optimal=entry.optimal)
-            return ticket
-
+        # Cache, coalesce and admission are decided under one lock, so a
+        # solve completing between the store lookup and the inflight check
+        # cannot slip a redundant re-solve past the memo.  (Trace emits go
+        # through self.tracer directly — _emit would re-take the lock.)
         with self._work:
             self._stats["submitted"] += 1
+            entry = self.store.lookup(fp)
+            if entry is not None and (entry.optimal or not refine):
+                ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
+                                       solver_name, priority, pid_map=pid_map)
+                ticket._resolve(entry, "cache_hit", time_seconds=0.0)
+                self._tickets[ticket.ticket_id] = ticket
+                self._stats["cache_hits"] += 1
+                self._stats["completed"] += 1
+                if self.tracer is not None:
+                    self.tracer.emit("svc_cache_hit", id=ticket.ticket_id,
+                                     fingerprint=fp,
+                                     objective=entry.objective,
+                                     optimal=entry.optimal)
+                return ticket
             inflight = self._inflight.get(fp)
             if inflight is not None:
                 ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
-                                       solver_name, priority)
+                                       solver_name, priority, pid_map=pid_map)
                 ticket.state = "queued"
                 inflight["followers"].append(ticket)
                 self._tickets[ticket.ticket_id] = ticket
                 self._stats["coalesced"] += 1
-                primary_id = inflight["ticket"].ticket_id
-            else:
-                try:
-                    self._check_admission(budget)
-                except RequestRejected as exc:
-                    self._stats["rejected"] += 1
-                    if self.tracer is not None:
-                        self.tracer.emit("svc_reject", reason=exc.reason,
-                                         fingerprint=fp)
-                    raise
-                ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
-                                       solver_name, priority)
-                self._tickets[ticket.ticket_id] = ticket
-                self._inflight[fp] = {"ticket": ticket, "followers": []}
-                heapq.heappush(
-                    self._heap,
-                    (priority, next(self._seq), ticket, problem, budget),
-                )
-                self._lane_depth[priority] = (
-                    self._lane_depth.get(priority, 0) + 1
-                )
                 if self.tracer is not None:
-                    self.tracer.emit("svc_enqueue", id=ticket.ticket_id,
-                                     fingerprint=fp, solver=solver_name,
-                                     priority=priority,
-                                     depth=len(self._heap))
-                self._work.notify()
+                    self.tracer.emit("svc_coalesce", id=ticket.ticket_id,
+                                     fingerprint=fp,
+                                     primary=inflight["ticket"].ticket_id)
                 return ticket
-        # Coalesced path (outside the lock for the trace emit).
-        self._emit("svc_coalesce", id=ticket.ticket_id, fingerprint=fp,
-                   primary=primary_id)
-        return ticket
+            try:
+                self._check_admission(budget)
+            except RequestRejected as exc:
+                self._stats["rejected"] += 1
+                if self.tracer is not None:
+                    self.tracer.emit("svc_reject", reason=exc.reason,
+                                     fingerprint=fp)
+                raise
+            ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
+                                   solver_name, priority, pid_map=pid_map)
+            self._tickets[ticket.ticket_id] = ticket
+            self._inflight[fp] = {"ticket": ticket, "followers": []}
+            heapq.heappush(
+                self._heap,
+                (priority, next(self._seq), ticket, problem, budget),
+            )
+            self._lane_depth[priority] = (
+                self._lane_depth.get(priority, 0) + 1
+            )
+            if self.tracer is not None:
+                self.tracer.emit("svc_enqueue", id=ticket.ticket_id,
+                                 fingerprint=fp, solver=solver_name,
+                                 priority=priority,
+                                 depth=len(self._heap))
+            self._work.notify()
+            return ticket
 
     def ticket(self, ticket_id: str) -> Optional[ServiceTicket]:
         """Look up a ticket by id (``None`` if unknown)."""
@@ -456,7 +494,9 @@ class SolveService:
         if warm is not None and warm.schedule.u == problem.u and sum(
             len(g) for g in warm.schedule.groups
         ) == problem.n:
-            warm_schedule = warm.schedule
+            # Store entries are canonical-labeled; the incumbent must be
+            # translated into *this* problem's labeling before seeding.
+            warm_schedule = schedule_from_canonical(problem, warm.schedule)
             with self._lock:
                 self._stats["warm_starts"] += 1
             self._emit("svc_warm_start", id=ticket.ticket_id, fingerprint=fp,
@@ -480,10 +520,13 @@ class SolveService:
             for f in followers:
                 f._fail(str(exc))
             return
-        self.store.record(fp, result.schedule, result.objective,
+        # The store keeps schedules in canonical pid labeling so one entry
+        # serves every relabeling of the problem; tickets translate back.
+        canon_schedule = schedule_to_canonical(problem, result.schedule)
+        self.store.record(fp, canon_schedule, result.objective,
                           result.solver, result.optimal)
         entry = self.store.peek(fp) or StoreEntry(
-            fp, result.schedule, result.objective, result.solver,
+            fp, canon_schedule, result.objective, result.solver,
             result.optimal,
         )
         counters = getattr(problem, "counters", None)

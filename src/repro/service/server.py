@@ -65,6 +65,19 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ #
 
+    def _drain_body(self) -> None:
+        """Consume the request body before replying on a non-handled POST.
+
+        With HTTP/1.1 keep-alive, unread body bytes would be parsed as the
+        next request on the same connection, desyncing the client.
+        """
+        remaining = int(self.headers.get("Content-Length") or 0)
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 65536))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+
     def _reply(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
@@ -98,6 +111,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         if self.path != "/solve":
+            self._drain_body()
             self._reply(404, {"error": "not_found",
                               "detail": f"no route {self.path!r}"})
             return

@@ -8,6 +8,12 @@ provenance, and optimality flag.  Lookups either answer a request outright
 incumbent to :func:`warm-start <repro.solvers.base.Solver.solve>` a fresh
 run.
 
+Because the fingerprint is relabeling-invariant, schedules are stored in
+**canonical pid labeling** (:func:`repro.service.codec.schedule_to_canonical`);
+consumers translate an entry back into their own problem's labeling with
+:func:`repro.service.codec.schedule_from_canonical` before using it.  The
+:class:`~repro.service.queue.SolveService` does this per ticket.
+
 The store is an in-memory LRU bounded by ``capacity``; with a ``path`` it
 also appends one JSONL record per accepted update and replays the log on
 construction, so a restarted service keeps its memo.  ``record()`` is

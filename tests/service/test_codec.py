@@ -33,12 +33,15 @@ from repro.core.problem import CoSchedulingProblem
 from repro.core.schedule import CoSchedule
 from repro.service import (
     CodecError,
+    canonical_pid_map,
     load_problem,
     problem_fingerprint,
     problem_from_dict,
     problem_to_dict,
     save_problem,
+    schedule_from_canonical,
     schedule_from_dict,
+    schedule_to_canonical,
     schedule_to_dict,
 )
 from repro.solvers import PolitenessGreedy
@@ -197,6 +200,53 @@ def test_fingerprint_invariant_for_matrix_model_relabeling():
 
     assert problem_fingerprint(build([2, 0, 3, 1])) == \
         problem_fingerprint(build([0, 1, 2, 3]))
+
+
+# --------------------------------------------------------------------- #
+# canonical schedule translation
+# --------------------------------------------------------------------- #
+
+
+def test_canonical_pid_map_is_a_bijection_with_padding_last():
+    # 6 serial jobs on quad cores -> 2 imaginary pads in the tail slots.
+    cl = CLUSTERS["quad"]
+    jobs = [serial_job(i, f"j{i}") for i in range(6)]
+    wl = Workload(jobs, cores_per_machine=cl.cores)
+    rates = _RATES[:6] + [0.5] * wl.n_imaginary
+    problem = CoSchedulingProblem(
+        wl, cl, MissRatePressureModel(rates, kappa=0.4)
+    )
+    m = canonical_pid_map(problem)
+    assert sorted(m) == list(range(wl.n))
+    for pid in range(wl.n):
+        if wl.is_imaginary(pid):
+            assert m[pid] >= wl.n_real
+        else:
+            assert m[pid] < wl.n_real
+
+
+def test_canonical_schedule_round_trip_is_identity():
+    problem = _serial_problem(list(range(8)))
+    schedule = PolitenessGreedy().solve(problem).schedule
+    canon = schedule_to_canonical(problem, schedule)
+    assert schedule_from_canonical(problem, canon) == schedule
+
+
+@pytest.mark.parametrize("order", [
+    [7, 6, 5, 4, 3, 2, 1, 0],
+    [3, 1, 4, 0, 5, 2, 7, 6],
+])
+def test_canonical_schedule_translates_between_relabelings(order):
+    # A schedule solved on one labeling, pushed through the canonical form
+    # and pulled back on a *different* labeling of the same content, must
+    # keep its objective — this is the store's cache-hit contract.
+    a = _serial_problem(list(range(8)))
+    b = _serial_problem(order)
+    assert problem_fingerprint(a) == problem_fingerprint(b)
+    sched_a = PolitenessGreedy().solve(a).schedule
+    obj_a = evaluate_schedule(a, sched_a).objective
+    sched_b = schedule_from_canonical(b, schedule_to_canonical(a, sched_a))
+    assert evaluate_schedule(b, sched_b).objective == pytest.approx(obj_a)
 
 
 # --------------------------------------------------------------------- #

@@ -5,6 +5,11 @@ import io
 
 import pytest
 
+from repro.core.degradation import MissRatePressureModel
+from repro.core.jobs import Workload, serial_job
+from repro.core.machine import CLUSTERS
+from repro.core.objective import evaluate_schedule
+from repro.core.problem import CoSchedulingProblem
 from repro.perf import Tracer
 from repro.perf.tracer import trace_to_list
 from repro.service import RequestRejected, SolutionStore, SolveService
@@ -14,6 +19,26 @@ from repro.workloads.synthetic import random_serial_instance
 
 def make_problem(seed=0, n=8):
     return random_serial_instance(n, seed=seed)
+
+
+_RATES = [0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.72, 0.33]
+_TIMES = [1.0, 2.0, 1.5, 3.0, 2.5, 1.2, 2.2, 1.7]
+
+
+def relabeled_problem(order):
+    """The same 8-serial-job content with jobs submitted in ``order``.
+
+    Any two orders fingerprint identically but label their pids
+    differently — the store must translate between them.
+    """
+    cl = CLUSTERS["quad"]
+    jobs = [serial_job(i, f"job{k}") for i, k in enumerate(order)]
+    wl = Workload(jobs, cores_per_machine=cl.cores)
+    model = MissRatePressureModel(
+        [_RATES[k] for k in order], kappa=0.4, saturation=0.8,
+        single_times=[_TIMES[k] for k in order],
+    )
+    return CoSchedulingProblem(wl, cl, model)
 
 
 def test_solve_then_cache_hit():
@@ -188,6 +213,80 @@ def test_service_emits_svc_trace_events():
     for expected in ("svc_enqueue", "svc_coalesce", "svc_reject",
                      "svc_cache_hit", "svc_warm_start"):
         assert expected in events, (expected, events)
+
+
+def test_cache_hit_serves_relabeled_submitter_in_its_own_labeling():
+    with SolveService(workers=1, default_solver="hill") as svc:
+        t1 = svc.submit(relabeled_problem(list(range(8))))
+        assert t1.wait(30.0)
+        p2 = relabeled_problem([3, 1, 4, 0, 5, 2, 7, 6])
+        t2 = svc.submit(p2)
+        assert t2.done and t2.disposition == "cache_hit"
+        assert t2.objective == pytest.approx(t1.objective)
+        # The served schedule must mean in p2's labeling what the cached
+        # one meant in p1's: its true objective equals the reported one.
+        assert evaluate_schedule(p2, t2.schedule).objective == \
+            pytest.approx(t2.objective)
+
+
+def test_coalesced_follower_gets_schedule_in_its_own_labeling():
+    svc = SolveService(workers=1, default_solver="hill")
+    p1 = relabeled_problem(list(range(8)))
+    p2 = relabeled_problem([7, 6, 5, 4, 3, 2, 1, 0])
+    primary = svc.submit(p1)
+    follower = svc.submit(p2)
+    svc.start()
+    try:
+        assert primary.wait(30.0) and follower.wait(30.0)
+        assert follower.disposition == "coalesced"
+        assert evaluate_schedule(p1, primary.schedule).objective == \
+            pytest.approx(primary.objective)
+        assert evaluate_schedule(p2, follower.schedule).objective == \
+            pytest.approx(follower.objective)
+    finally:
+        svc.stop()
+
+
+def test_warm_start_translates_incumbent_into_request_labeling():
+    p1 = relabeled_problem(list(range(8)))
+    p2 = relabeled_problem([2, 7, 0, 5, 3, 6, 1, 4])
+    with SolveService(workers=1, default_solver="pg") as svc:
+        t1 = svc.submit(p1, solver="pg")
+        assert t1.wait(30.0)
+        t2 = svc.submit(p2, solver="hill", refine=True)
+        assert t2.wait(30.0)
+        assert t2.disposition == "solved" and t2.warm_started
+        assert t2.objective <= t1.objective + 1e-9
+        assert evaluate_schedule(p2, t2.schedule).objective == \
+            pytest.approx(t2.objective)
+
+
+def test_jsonl_store_serves_relabeled_problem_after_restart(tmp_path):
+    path = str(tmp_path / "memo.jsonl")
+    with SolveService(store=SolutionStore(path=path), workers=1,
+                      default_solver="hill") as svc:
+        t1 = svc.submit(relabeled_problem(list(range(8))))
+        assert t1.wait(30.0)
+    p2 = relabeled_problem([5, 2, 7, 0, 6, 1, 4, 3])
+    with SolveService(store=SolutionStore(path=path), workers=1,
+                      default_solver="hill") as svc2:
+        t2 = svc2.submit(p2)
+        assert t2.done and t2.disposition == "cache_hit"
+        assert evaluate_schedule(p2, t2.schedule).objective == \
+            pytest.approx(t2.objective)
+
+
+def test_stop_fails_queued_primaries_and_their_followers():
+    svc = SolveService(workers=1, default_solver="pg")
+    # Workers never started: the primary stays queued, the follower
+    # coalesces onto it; stop() must fail both or wait() hangs forever.
+    primary = svc.submit(make_problem(95))
+    follower = svc.submit(make_problem(95))
+    assert follower.disposition is None  # still pending, attached
+    svc.stop()
+    assert primary.done and primary.state == "failed"
+    assert follower.done and follower.state == "failed"
+    assert follower.error == "service stopped"
 
 
 def test_worker_failure_fails_ticket_and_followers():

@@ -9,6 +9,7 @@ with a structured error body.  Only the standard library is involved in
 transport (``http.server`` + ``urllib``).
 """
 
+import http.client
 import json
 import threading
 import time
@@ -158,6 +159,29 @@ def test_http_error_paths(service_and_url):
     with pytest.raises(ServiceError) as exc:
         client.status("")  # GET /status/ with empty id
     assert exc.value.status == 404
+
+
+def test_post_404_drains_body_and_keeps_connection_usable(service_and_url):
+    service, url = service_and_url
+    service.start()
+    host, _, port = url[len("http://"):].rpartition(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=10)
+    try:
+        # POST with a body to an unknown route: the server must consume
+        # the body before replying, or the next request on this HTTP/1.1
+        # keep-alive connection would be parsed mid-body and desync.
+        body = json.dumps({"junk": "x" * 4096}).encode()
+        conn.request("POST", "/nope", body=body,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        assert resp.status == 404
+        json.loads(resp.read().decode())
+        conn.request("GET", "/metrics")
+        resp2 = conn.getresponse()
+        assert resp2.status == 200
+        assert "requests" in json.loads(resp2.read().decode())
+    finally:
+        conn.close()
 
 
 def test_wait_parameter_blocks_until_done(service_and_url):
