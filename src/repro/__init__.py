@@ -7,17 +7,20 @@ multicore machines:
 * model degradations with the SDC cache-contention pipeline
   (:mod:`repro.cache`) or synthetic models (:mod:`repro.core.degradation`);
 * solve exactly with OA* (:class:`repro.solvers.OAStar`) or the IP backends,
-  or near-optimally at scale with HA* (:class:`repro.solvers.HAStar`);
+  or near-optimally at scale with HA* (:class:`repro.solvers.HAStar`) —
+  every solver is addressable by a spec string through the
+  :mod:`repro.runtime` registry;
 * reproduce every table and figure of the paper via :mod:`repro.experiments`.
 
 Quickstart::
 
-    from repro import serial_mix, OAStar
+    from repro import run_solve, serial_mix
     problem = serial_mix(["BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"],
                          cluster="quad")
-    result = OAStar().solve(problem)
-    print(result.schedule.pretty(problem.workload))
-    print("average degradation:", result.evaluation.average_job_degradation)
+    report = run_solve(problem, "oastar")
+    print(report.schedule.pretty(problem.workload))
+    print("average degradation:",
+          report.result.evaluation.average_job_degradation)
 """
 
 from .core import (
@@ -53,6 +56,13 @@ from .solvers import (
     SimulatedAnnealing,
     SolveResult,
     SwapHillClimber,
+)
+from .runtime import (
+    SolveReport,
+    SpecError,
+    parse_spec,
+    run_solve,
+    solver_names,
 )
 from .workloads import (
     mixed_parallel_serial,
@@ -94,6 +104,11 @@ __all__ = [
     "SimulatedAnnealing",
     "SolveResult",
     "SwapHillClimber",
+    "SolveReport",
+    "SpecError",
+    "parse_spec",
+    "run_solve",
+    "solver_names",
     "mixed_parallel_serial",
     "pc_serial_mix",
     "pe_serial_mix",

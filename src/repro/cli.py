@@ -14,17 +14,24 @@
     cosched submit --url http://127.0.0.1:8831 BT CG EP FT
 
 ``solve`` co-schedules named catalog programs and prints the schedule plus
-its degradation breakdown; ``--budget SECONDS`` makes it anytime (best
-valid schedule at the deadline, ``--solver fallback`` cascades
-OA* > HA* > PG), ``--trace FILE`` streams JSONL search events, and
-``--profile`` prints the perf-counter report even when the solve fails.
-``--save-problem``/``--problem-file`` round-trip the instance through the
-:mod:`repro.service` codec, so a solve is reproducible outside the
-catalog.  ``graph`` renders the co-scheduling graph with the optimal path
-highlighted; ``simulate`` races online placement policies on a random
-arrival trace.  ``serve`` runs the memoizing solve service
-(``docs/SERVICE.md``); ``submit`` sends one problem to a running service
-and prints the resolved schedule.
+its degradation breakdown; ``--solver`` takes a runtime registry spec
+string (``hastar?mer=4``, ``fallback?chain=oastar,pg`` — see
+``docs/RUNTIME.md``), ``--budget SECONDS`` makes it anytime (best valid
+schedule at the deadline, ``--solver fallback`` cascades OA* > HA* > PG),
+``--trace FILE`` streams JSONL search events, ``--json`` prints the
+normalized :class:`~repro.runtime.SolveReport` document instead of the
+pretty schedule, and ``--profile`` prints the perf-counter report even
+when the solve fails.  ``--save-problem``/``--problem-file`` round-trip
+the instance through the :mod:`repro.service` codec, so a solve is
+reproducible outside the catalog.  ``graph`` renders the co-scheduling
+graph with the chosen solver's path highlighted; ``simulate`` races online
+placement policies on a random arrival trace.  ``serve`` runs the
+memoizing solve service (``docs/SERVICE.md``); ``submit`` sends one
+problem to a running service and prints the resolved schedule.
+
+Every subcommand resolves solvers through :mod:`repro.runtime` — the CLI,
+the HTTP service and the experiment runners all accept the same solver
+set and the same spec syntax.
 """
 
 from __future__ import annotations
@@ -34,34 +41,41 @@ import sys
 from typing import List, Optional, Sequence
 
 from .experiments import REGISTRY
-from .solvers import (
-    Budget,
-    FallbackChain,
-    HAStar,
-    OAStar,
-    OSVP,
-    PolitenessGreedy,
-    ScipyMILP,
-)
+from .runtime import SpecError, get_info, parse_spec, run_solve, solver_names
+from .solvers import Budget
 from .workloads.catalog import CATALOG
 from .workloads.mixes import serial_mix
 
-SOLVERS = {
-    "oastar": lambda: OAStar(),
-    "hastar": lambda: HAStar(),
-    "osvp": lambda: OSVP(),
-    "pg": lambda: PolitenessGreedy(),
-    "ip": lambda: ScipyMILP(),
-    "fallback": lambda: FallbackChain(),
-}
+
+def _parse_solver_spec(spec: str):
+    """Validate a ``--solver`` value; prints the error and returns ``None``
+    on rejection (callers exit 2)."""
+    try:
+        return parse_spec(spec)
+    except SpecError as exc:
+        print(f"bad --solver {spec!r} ({exc.reason}): {exc.detail}",
+              file=sys.stderr)
+        return None
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:")
     for name in REGISTRY:
         print(f"  {name}")
-    print("\nsolvers:", ", ".join(SOLVERS))
-    print("catalog programs:", ", ".join(sorted(CATALOG)))
+    print("\nsolvers:")
+    for name in solver_names():
+        info = get_info(name)
+        caps = []
+        caps.append("exact" if info.exact else "heuristic")
+        if info.supports_budget:
+            caps.append("budget")
+        if info.supports_warm_start:
+            caps.append("warm-start")
+        if info.supports_workers:
+            caps.append("workers")
+        alias = f" (aliases: {', '.join(info.aliases)})" if info.aliases else ""
+        print(f"  {name:10s} [{', '.join(caps)}] {info.summary}{alias}")
+    print("\ncatalog programs:", ", ".join(sorted(CATALOG)))
     return 0
 
 
@@ -111,6 +125,9 @@ def _load_or_mix_problem(args: argparse.Namespace):
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    spec = _parse_solver_spec(args.solver)
+    if spec is None:
+        return 2
     problem, err = _load_or_mix_problem(args)
     if problem is None:
         return err
@@ -120,9 +137,6 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         fingerprint = save_problem(problem, args.save_problem)
         print(f"problem -> {args.save_problem} "
               f"(fingerprint {fingerprint[:16]}...)", file=sys.stderr)
-    solver = SOLVERS[args.solver]()
-    if getattr(args, "workers", 1) > 1 and hasattr(solver, "parallel_workers"):
-        solver.parallel_workers = args.workers
     budget = None
     if args.budget is not None:
         if args.budget <= 0:
@@ -134,18 +148,26 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         from .perf import Tracer
 
         tracer = Tracer(args.trace)
-        problem.counters.tracer = tracer
-    result = None
+    report = None
     try:
-        result = solver.solve(problem, budget=budget)
+        # run_solve attaches (and restores) the tracer, applies --workers,
+        # and arms the budget — the CLI only renders the report.
+        report = run_solve(problem, spec, budget=budget, tracer=tracer,
+                           workers=getattr(args, "workers", 1))
+        result = report.result
         if result.schedule is None:
-            reason = result.budget_stopped or "no schedule found"
+            reason = report.stopped or "no schedule found"
             print(f"no schedule ({reason})", file=sys.stderr)
             return 1
+        if args.json:
+            import json
+
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+            return 0
         print(result.schedule.pretty(problem.workload))
         print(f"\nsolver: {result.solver}   time: {result.time_seconds:.4f}s")
-        if result.budget_stopped is not None:
-            print(f"budget: stopped on {result.budget_stopped} "
+        if report.stopped is not None:
+            print(f"budget: stopped on {report.stopped} "
                   f"(best-so-far schedule, not proven optimal)")
         print(f"total degradation: {result.objective:.6f}")
         print(
@@ -161,20 +183,23 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         if args.profile:
             print()
             print(problem.counters.report())
-            if result is not None:
+            if report is not None:
                 solver_stats = {
-                    k: v for k, v in result.stats.items() if k != "profile"
+                    k: v for k, v in report.result.stats.items()
+                    if k != "profile"
                 }
                 if solver_stats:
                     print(f"  solver stats: {solver_stats}")
         if tracer is not None:
-            problem.counters.tracer = None
             tracer.close()
             print(f"trace: {tracer.events_written} events -> {args.trace}",
                   file=sys.stderr)
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
+    spec = _parse_solver_spec(args.solver)
+    if spec is None:
+        return 2
     unknown = [a for a in args.apps if a not in CATALOG]
     if unknown:
         print(f"unknown program(s): {', '.join(unknown)}", file=sys.stderr)
@@ -184,13 +209,16 @@ def _cmd_graph(args: argparse.Namespace) -> int:
 
     problem = serial_mix(args.apps, cluster=args.cluster)
     graph = CoSchedulingGraph(problem)
-    result = SOLVERS["oastar"]().solve(problem)
+    report = run_solve(problem, spec)
+    if report.schedule is None:
+        print("no schedule found", file=sys.stderr)
+        return 1
     if args.dot:
-        print(to_dot(graph, highlight=result.schedule))
+        print(to_dot(graph, highlight=report.schedule))
         return 0
-    print(ascii_levels(graph, highlight=result.schedule))
+    print(ascii_levels(graph, highlight=report.schedule))
     print()
-    print(describe_path(problem, result.schedule))
+    print(describe_path(problem, report.schedule))
     return 0
 
 
@@ -272,6 +300,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     from .service import ServiceClient, ServiceError, schedule_from_dict
 
+    if args.solver is not None and _parse_solver_spec(args.solver) is None:
+        return 2  # reject locally with the same registry the server uses
     problem, err = _load_or_mix_problem(args)
     if problem is None:
         return err
@@ -342,7 +372,18 @@ def build_parser() -> argparse.ArgumentParser:
              "fingerprint) before solving, so the run is reproducible "
              "with --problem-file",
     )
-    p_solve.add_argument("--solver", default="oastar", choices=tuple(SOLVERS))
+    p_solve.add_argument(
+        "--solver", default="oastar", metavar="SPEC",
+        help="runtime registry solver spec, e.g. oastar, hastar?mer=4, "
+             "fallback?chain=oastar,pg ('cosched list' shows the registry; "
+             "docs/RUNTIME.md has the grammar)",
+    )
+    p_solve.add_argument(
+        "--json", action="store_true",
+        help="print the normalized SolveReport document (the same shape "
+             "the HTTP service and sim.compare_solvers report) instead of "
+             "the pretty schedule",
+    )
     p_solve.add_argument(
         "--profile", action="store_true",
         help="print weight-kernel batch sizes, memo hits, heap ops and "
@@ -373,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_graph.add_argument("apps", nargs="+", metavar="PROGRAM")
     p_graph.add_argument("--cluster", default="dual",
                          choices=("dual", "quad", "eight"))
+    p_graph.add_argument(
+        "--solver", default="oastar", metavar="SPEC",
+        help="solver spec whose path to highlight (any registry spec; "
+             "default oastar, i.e. the optimal path)",
+    )
     p_graph.add_argument("--dot", action="store_true",
                          help="emit Graphviz DOT instead of ASCII")
     p_graph.set_defaults(func=_cmd_graph)
@@ -384,8 +430,6 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--mean-interarrival", type=float, default=0.5)
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.set_defaults(func=_cmd_simulate)
-
-    from .service.queue import SOLVER_FACTORIES
 
     p_serve = sub.add_parser(
         "serve", help="run the memoizing co-scheduling HTTP service"
@@ -404,8 +448,9 @@ def build_parser() -> argparse.ArgumentParser:
              "rejected with reason 'queue_full'",
     )
     p_serve.add_argument(
-        "--solver", default="fallback", choices=sorted(SOLVER_FACTORIES),
-        help="default solver for requests that name none",
+        "--solver", default="fallback", metavar="SPEC",
+        help="default solver spec for requests that name none "
+             "(validated against the runtime registry)",
     )
     p_serve.add_argument(
         "--store", default=None, metavar="FILE.jsonl",
@@ -436,8 +481,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="submit a codec-serialized problem instead of catalog programs",
     )
     p_submit.add_argument(
-        "--solver", default=None, choices=sorted(SOLVER_FACTORIES),
-        help="solver to request (server default when omitted)",
+        "--solver", default=None, metavar="SPEC",
+        help="solver spec to request (server default when omitted); the "
+             "service validates it against the same runtime registry",
     )
     p_submit.add_argument(
         "--budget", type=float, default=None, metavar="SECONDS",

@@ -13,7 +13,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator
 
-__all__ = ["ExperimentResult", "timed"]
+__all__ = ["ExperimentResult", "solve_spec", "timed"]
 
 
 @dataclass
@@ -27,6 +27,24 @@ class ExperimentResult:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"== {self.exp_id}: {self.title} ==\n{self.text}"
+
+
+def solve_spec(problem, spec: str, *, budget=None, warm_start=None,
+               workers: int = 1):
+    """Solve ``problem`` with a runtime registry spec string.
+
+    The experiments' one solver entry point: every runner names its
+    solvers as spec strings (``"oastar?h_strategy=2"``, ``"hastar?mer=4"``)
+    and routes them through :func:`repro.runtime.run_solve`, so a
+    configuration printed in EXPERIMENTS.md can be replayed verbatim via
+    ``cosched solve --solver``.  Returns the raw
+    :class:`~repro.solvers.base.SolveResult` (runners read objectives,
+    timings and solver stats off it, exactly as before).
+    """
+    from ..runtime import run_solve
+
+    return run_solve(problem, spec, budget=budget, warm_start=warm_start,
+                     workers=workers).result
 
 
 @contextmanager

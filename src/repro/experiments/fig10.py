@@ -11,9 +11,8 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from ..analysis.reporting import render_table
-from ..solvers import HAStar, OAStar, PolitenessGreedy
 from ..workloads.mixes import FIG10_APPS, FIG11_APPS, serial_mix
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "fig10"
 TITLE = "Per-application degradation under OA*, HA* and PG"
@@ -27,13 +26,13 @@ def run(
     problem = serial_mix(apps, cluster=cluster)
     solvers = []
     if include_oastar:
-        solvers.append(("OA*", OAStar(name="OA*")))
-    solvers += [("HA*", HAStar()), ("PG", PolitenessGreedy())]
+        solvers.append(("OA*", "oastar?name=OA*"))
+    solvers += [("HA*", "hastar"), ("PG", "pg")]
     per_solver: Dict[str, Dict[str, float]] = {}
     averages: Dict[str, float] = {}
-    for label, solver in solvers:
+    for label, spec in solvers:
         problem.clear_caches()
-        result = solver.solve(problem)
+        result = solve_spec(problem, spec)
         by_app = {
             problem.workload.jobs[jid].name: d
             for jid, d in result.evaluation.job_degradations.items()

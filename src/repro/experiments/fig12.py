@@ -19,9 +19,8 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..analysis.reporting import render_series
-from ..solvers import HAStar, PolitenessGreedy
 from ..workloads.synthetic import random_interaction_instance
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "fig12"
 TITLE = "Average degradation under HA* and PG (synthetic jobs)"
@@ -38,8 +37,8 @@ def run(
     for n in counts:
         problem = random_interaction_instance(n, cluster=cluster, seed=seed)
         beam = max(16, problem.n // problem.u)
-        ha = HAStar(beam_width=beam).solve(problem)
-        pg = PolitenessGreedy().solve(problem)
+        ha = solve_spec(problem, f"hastar?beam_width={beam}")
+        pg = solve_spec(problem, "pg")
         ha_avg = ha.evaluation.average_job_degradation
         pg_avg = pg.evaluation.average_job_degradation
         ha_vals.append(ha_avg)

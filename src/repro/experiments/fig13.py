@@ -15,9 +15,8 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..analysis.reporting import render_series
-from ..solvers import HAStar
 from ..workloads.synthetic import random_interaction_instance
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "fig13"
 TITLE = "Scalability of HA* on quad-core and 8-core machines"
@@ -34,7 +33,7 @@ def run(
         for n in counts:
             problem = random_interaction_instance(n, cluster=cluster, seed=seed)
             beam = max(16, problem.n // problem.u)
-            result = HAStar(beam_width=beam).solve(problem)
+            result = solve_spec(problem, f"hastar?beam_width={beam}")
             times.append(result.time_seconds)
         data[cluster] = times
     series = {f"HA* time on {c}-core (s)": data[c] for c in clusters}

@@ -34,9 +34,8 @@ from ..analysis.mer import mer_of_schedule
 from ..analysis.reporting import render_table
 from ..analysis.stats import cdf_at
 from ..core.machine import CLUSTERS
-from ..solvers import HAStar, OAStar
 from ..workloads.synthetic import random_profile_instance
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "fig5"
 TITLE = "MER of the optimal path and HA* optimality gap (random graphs)"
@@ -57,10 +56,10 @@ def run(
         for k in range(k_graphs):
             problem = random_profile_instance(n, cluster=cluster,
                                               seed=seed0 + k)
-            optimal = OAStar().solve(problem)
+            optimal = solve_spec(problem, "oastar")
             mers.append(mer_of_schedule(problem, optimal.schedule))
             problem.clear_caches()
-            trimmed = HAStar().solve(problem)
+            trimmed = solve_spec(problem, "hastar")
             gap = 0.0
             if optimal.objective > 0:
                 gap = (trimmed.objective - optimal.objective) / optimal.objective

@@ -20,9 +20,8 @@ from typing import Dict, Sequence
 
 from ..analysis.reporting import render_table
 from ..core.objective import evaluate_schedule
-from ..solvers import OAStar
 from ..workloads.mixes import pe_serial_mix
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "fig6"
 TITLE = "Degradation under OA*-PE vs OA*-SE for a PE + serial mix"
@@ -41,7 +40,7 @@ def run(
         cluster=cluster,
     )
     # OA*-PE: the correct max-aggregated objective.
-    pe_result = OAStar(name="OA*-PE").solve(problem)
+    pe_result = solve_spec(problem, "oastar?name=OA*-PE")
 
     # OA*-SE: schedule as if every process were serial (Eq. 12)...
     from ..core.jobs import Workload, serial_job
@@ -60,7 +59,7 @@ def run(
     flat_wl = Workload(flat_jobs, cores_per_machine=problem.u)
     flat_model = SDCDegradationModel(flat_wl, problem.cluster.machine, CATALOG)
     flat_problem = CoSchedulingProblem(flat_wl, problem.cluster, flat_model)
-    se_result = OAStar(name="OA*-SE").solve(flat_problem)
+    se_result = solve_spec(flat_problem, "oastar?name=OA*-SE")
     # ... then score that schedule with the TRUE parallel-aware objective.
     se_eval = evaluate_schedule(problem, se_result.schedule)
 

@@ -15,9 +15,8 @@ from typing import Dict, Sequence
 
 from ..analysis.reporting import render_table
 from ..core.objective import evaluate_schedule
-from ..solvers import OAStar
 from ..workloads.mixes import pc_serial_mix
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "fig7"
 TITLE = "CCD under OA*-PC vs OA*-PE for an MPI + serial mix"
@@ -49,7 +48,9 @@ def run(
         halo_scale=halo_scale,
         scramble_seed=scramble_seed,
     )
-    pc_result = OAStar(name="OA*-PC", condense=condense).solve(problem)
+    pc_result = solve_spec(
+        problem, f"oastar?name=OA*-PC&condense={condense}"
+    )
 
     # OA*-PE: schedule ignoring communications (comm model dropped)...
     blind = pc_serial_mix(
@@ -61,7 +62,9 @@ def run(
         halo_scale=halo_scale,
         scramble_seed=scramble_seed,
     )
-    pe_result = OAStar(name="OA*-PE", condense=condense).solve(blind)
+    pe_result = solve_spec(
+        blind, f"oastar?name=OA*-PE&condense={condense}"
+    )
     # ... then score with the communication-aware objective.
     pe_eval = evaluate_schedule(problem, pe_result.schedule)
 

@@ -16,9 +16,8 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from ..analysis.reporting import render_series
-from ..solvers import OAStar
 from ..workloads.synthetic import random_mixed_instance
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "fig8"
 TITLE = "OA*-PC solving time with and without process condensation"
@@ -48,10 +47,12 @@ def run(
             cluster=cluster,
             seed=seed,
         )
-        r_on = OAStar(condense=True, name="OA*+cond").solve(problem)
+        r_on = solve_spec(problem, "oastar?condense=true&name=OA*+cond")
         problem.clear_caches()
-        r_off = OAStar(condense=False, condense_pe=False,
-                       name="OA*-cond").solve(problem)
+        r_off = solve_spec(
+            problem,
+            "oastar?condense=false&condense_pe=false&name=OA*-cond",
+        )
         assert abs(r_on.objective - r_off.objective) <= 1e-6 * (
             1 + abs(r_off.objective)
         ), "condensation changed the optimal objective"

@@ -11,9 +11,8 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..analysis.reporting import render_series
-from ..solvers import OAStar
 from ..workloads.synthetic import random_serial_instance
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "fig9"
 TITLE = "Scalability of OA* (solving time vs number of processes)"
@@ -36,7 +35,7 @@ def run(
         times: List[float] = []
         for n in counts:
             problem = random_serial_instance(n, cluster=cluster, seed=seed)
-            result = OAStar().solve(problem)
+            result = solve_spec(problem, "oastar")
             times.append(result.time_seconds)
         data[cluster] = dict(zip(counts, times))
         texts.append(

@@ -11,9 +11,8 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from ..analysis.reporting import render_table
-from ..solvers import OAStar, ScipyMILP
 from ..workloads.mixes import TABLE1_SETS, serial_mix
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "table1"
 TITLE = "Comparison between OA* and IP for serial jobs (avg degradation)"
@@ -30,9 +29,9 @@ def run(
         row = [n]
         for cluster in clusters:
             problem = serial_mix(names, cluster=cluster)
-            ip = ScipyMILP().solve(problem)
+            ip = solve_spec(problem, "ip")
             problem.clear_caches()
-            oa = OAStar().solve(problem)
+            oa = solve_spec(problem, "oastar")
             row += [
                 ip.evaluation.average_job_degradation,
                 oa.evaluation.average_job_degradation,

@@ -11,9 +11,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..analysis.reporting import render_table
-from ..solvers import OAStar, ScipyMILP
 from ..workloads.mixes import mixed_parallel_serial
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "table2"
 TITLE = "Comparison of IP and OA* for serial and parallel jobs (avg degradation)"
@@ -29,9 +28,9 @@ def run(
         row = [n]
         for cluster in clusters:
             problem = mixed_parallel_serial(n, cluster=cluster)
-            ip = ScipyMILP().solve(problem)
+            ip = solve_spec(problem, "ip")
             problem.clear_caches()
-            oa = OAStar().solve(problem)
+            oa = solve_spec(problem, "oastar")
             row += [
                 ip.evaluation.average_job_degradation,
                 oa.evaluation.average_job_degradation,

@@ -14,10 +14,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.reporting import render_table
-from ..solvers import BranchBoundIP, OAStar, OSVP, ScipyMILP
 from ..workloads.mixes import TABLE1_SETS, TABLE2_SETS, serial_mix
 from ..workloads.synthetic import random_mixed_instance
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "table3"
 TITLE = "Efficiency of different methods on quad-core machines (seconds)"
@@ -55,15 +54,15 @@ def run(
             problem = _make_problem(n, flavour, cluster, seed)
             times: Dict[str, Optional[float]] = {}
             objectives: Dict[str, float] = {}
-            for label, solver in [
-                ("IP(milp)", ScipyMILP()),
-                ("IP(bb-simplex)", BranchBoundIP(time_limit=bb_time_limit)),
-                ("OA*", OAStar(name="OA*")),
-                ("O-SVP", OSVP()),
+            for label, spec in [
+                ("IP(milp)", "ip"),
+                ("IP(bb-simplex)", f"bb?time_limit={bb_time_limit}"),
+                ("OA*", "oastar?name=OA*"),
+                ("O-SVP", "osvp"),
             ]:
                 problem.clear_caches()
                 try:
-                    result = solver.solve(problem)
+                    result = solve_spec(problem, spec)
                     times[label] = result.time_seconds
                     objectives[label] = result.objective
                 except RuntimeError:

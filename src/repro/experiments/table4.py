@@ -20,9 +20,8 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..analysis.reporting import render_table
-from ..solvers import OAStar, OSVP
 from ..workloads.synthetic import random_profile_instance
-from .common import ExperimentResult
+from .common import ExperimentResult, solve_spec
 
 EXP_ID = "table4"
 TITLE = "Comparison of the strategies for setting h(v)"
@@ -38,21 +37,21 @@ def run(
     for n in sizes:
         problem = random_profile_instance(n, cluster=cluster, seed=seed)
         per = {}
-        for label, solver in [
+        for label, spec in [
             (
                 "Strategy 1",
-                OAStar(h_strategy=1, process_floor=False,
-                       partial_expansion=False, name="OA*(h1)"),
+                "oastar?h_strategy=1&process_floor=false"
+                "&partial_expansion=false&name=OA*(h1)",
             ),
             (
                 "Strategy 2",
-                OAStar(h_strategy=2, process_floor=False,
-                       partial_expansion=False, name="OA*(h2)"),
+                "oastar?h_strategy=2&process_floor=false"
+                "&partial_expansion=false&name=OA*(h2)",
             ),
-            ("O-SVP", OSVP()),
+            ("O-SVP", "osvp"),
         ]:
             problem.clear_caches()
-            result = solver.solve(problem)
+            result = solve_spec(problem, spec)
             per[label] = {
                 "time": result.time_seconds,
                 "visited_paths": result.stats["visited_paths"],

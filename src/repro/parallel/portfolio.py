@@ -11,7 +11,7 @@ processes.
 from __future__ import annotations
 
 import concurrent.futures as cf
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.problem import CoSchedulingProblem
 from ..solvers.base import Solver, SolveResult
@@ -33,22 +33,29 @@ class PortfolioSolver(Solver):
     Parameters
     ----------
     members:
-        The solvers to race.  Each sees its own cache state (the problem is
-        shared in-process; with ``workers > 1`` each worker gets a pickled
-        copy).
+        The solvers to race — registry spec strings (``"hastar?mer=4"``)
+        or constructed :class:`Solver` instances, freely mixed.  Each sees
+        its own cache state (the problem is shared in-process; with
+        ``workers > 1`` each worker gets a pickled copy).
     workers:
         1 (default) runs sequentially; more uses a process pool.  Process
         workers require the problem (and its degradation model) to be
         picklable, which every model in :mod:`repro.core.degradation` is.
     """
 
-    def __init__(self, members: Sequence[Solver], workers: int = 1,
-                 name: Optional[str] = None):
+    def __init__(self, members: Sequence[Union[str, Solver]],
+                 workers: int = 1, name: Optional[str] = None):
         if not members:
             raise ValueError("portfolio needs at least one member")
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        self.members = list(members)
+        # Lazy: the runtime registry's portfolio factory imports this
+        # module, so a top-level import would be circular.
+        from ..runtime import create_solver
+
+        self.members = [
+            create_solver(m) if isinstance(m, str) else m for m in members
+        ]
         self.workers = workers
         self.name = name or f"portfolio[{len(self.members)}]"
 

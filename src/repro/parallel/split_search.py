@@ -29,7 +29,6 @@ from ..core.machine import ClusterSpec
 from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
 from ..solvers.base import Solver, SolveResult
-from ..solvers.oastar import OAStar
 
 __all__ = ["SplitOAStar"]
 
@@ -69,7 +68,11 @@ class _RestrictedModel(CacheDegradationModel):
 
 def _solve_chunk(args) -> Tuple[float, Optional[List[Tuple[int, ...]]]]:
     """Worker: solve the reduced problems for a batch of level-0 nodes."""
-    (workload, cluster, model, roots, root_costs) = args
+    (workload, cluster, model, roots, root_costs, sub_spec) = args
+    # Lazy so worker processes (which re-import this module on unpickle)
+    # pay the registry import only when they actually solve.
+    from ..runtime import create_solver
+
     best_obj = math.inf
     best_groups: Optional[List[Tuple[int, ...]]] = None
     n = workload.n
@@ -82,7 +85,7 @@ def _solve_chunk(args) -> Tuple[float, Optional[List[Tuple[int, ...]]]]:
             sub_wl = Workload(sub_jobs, cores_per_machine=cluster.cores)
             sub_model = _RestrictedModel(model, remaining)
             sub_problem = CoSchedulingProblem(sub_wl, cluster, sub_model)
-            sub = OAStar().solve(sub_problem)
+            sub = create_solver(sub_spec).solve(sub_problem)
             total = root_cost + sub.objective
             groups = [root] + [
                 tuple(remaining[q] for q in grp)
@@ -106,11 +109,20 @@ class SplitOAStar(Solver):
     """
 
     def __init__(self, workers: int = 2, chunk: Optional[int] = None,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None, sub_spec: str = "oastar"):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        from ..runtime import get_info, parse_spec
+
+        parsed = parse_spec(sub_spec)
+        if not get_info(parsed.name).exact:
+            raise ValueError(
+                f"sub_spec {sub_spec!r} is heuristic; root splitting is "
+                "only exact over an exact subtree solver"
+            )
         self.workers = workers
         self.chunk = chunk
+        self.sub_spec = parsed.canonical()
         self.name = name or f"OA*(split x{workers})"
 
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
@@ -131,6 +143,7 @@ class SplitOAStar(Solver):
             tasks.append((
                 wl, problem.cluster, problem.model,
                 roots[i : i + chunk], root_costs[i : i + chunk],
+                self.sub_spec,
             ))
 
         best_obj = math.inf

@@ -7,14 +7,17 @@ sequence: one JSON object per line, timestamped relative to the tracer's
 creation, cheap enough to leave on for diagnosis and exactly free when off
 (every emit site is guarded by an ``if tracer is not None`` on a local).
 
-Attach a tracer to a problem's counters and every solver run against that
-problem streams events::
+Attach a tracer for the duration of a solve and every event streams out
+(:func:`repro.runtime.run_solve` attaches to ``problem.counters`` and
+restores the previous tracer on exit)::
 
     from repro.perf import Tracer
+    from repro.runtime import run_solve
+    from repro.solvers import Budget
 
     with Tracer("solve.jsonl") as tracer:
-        problem.counters.tracer = tracer
-        OAStar().solve(problem, budget=Budget(wall_time=5.0))
+        run_solve(problem, "oastar", budget=Budget(wall_time=5.0),
+                  tracer=tracer)
 
     summary = summarize_trace(read_trace("solve.jsonl"))   # repro.analysis
 

@@ -1,0 +1,214 @@
+"""The one solve pipeline: spec -> solver -> normalized report.
+
+:func:`run_solve` is how every surface — CLI, HTTP service workers, the
+batch simulator, experiment runners — actually runs a solver.  It
+composes, in one place, the plumbing the old call sites each hand-rolled
+differently:
+
+* **resolution** — the spec string (or :class:`SolverSpec`, or an already
+  constructed :class:`~repro.solvers.base.Solver`) becomes an instance via
+  the registry;
+* **tracing** — an optional :class:`~repro.perf.Tracer` is attached to
+  ``problem.counters`` for the duration of the run and the *previous*
+  tracer is restored on exit, success or failure (the old CLI left its
+  tracer attached forever);
+* **worker fan-out** — ``workers > 1`` is applied to solvers that declare
+  ``supports_workers`` (``parallel_workers`` on the A* family, ``workers``
+  on split/portfolio) and silently skipped otherwise, exactly like the
+  old CLI's ``hasattr`` probe but driven by declared capabilities;
+* **budget + warm start** — forwarded to ``solve()``, which owns the
+  never-worse incumbent guarantee.
+
+The outcome is a :class:`SolveReport` whose :meth:`~SolveReport.to_dict`
+is the stable JSON shape shared by ``cosched solve --json``, the service
+``GET /status/<id>`` payload, and :func:`repro.sim.compare_solvers` rows —
+one spec string produces equivalent report dicts on every surface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from ..core.problem import CoSchedulingProblem
+from ..solvers.base import Solver, SolveResult
+from ..solvers.budget import Budget
+from .registry import SolverSpec, create_solver, get_info, parse_spec
+
+__all__ = ["SolveReport", "run_solve"]
+
+
+@dataclass
+class SolveReport:
+    """Normalized outcome of one :func:`run_solve` call.
+
+    Wraps the raw :class:`~repro.solvers.base.SolveResult` (``result``)
+    with the request context every surface needs to report: the canonical
+    spec that produced it, the problem shape, and the applied worker count.
+    """
+
+    spec: str
+    solver: str
+    result: SolveResult
+    n: int
+    u: int
+    workers: int = 1
+
+    # -- conveniences shared by every surface --------------------------- #
+
+    @property
+    def schedule(self):
+        return self.result.schedule
+
+    @property
+    def objective(self) -> float:
+        return self.result.objective
+
+    @property
+    def optimal(self) -> bool:
+        return self.result.optimal
+
+    @property
+    def solve_seconds(self) -> float:
+        return self.result.time_seconds
+
+    @property
+    def stopped(self) -> Optional[str]:
+        """The tripped budget limit, or ``None`` for a complete run."""
+        return self.result.budget_stopped
+
+    @property
+    def warm_started(self) -> bool:
+        return "warm_start" in self.result.stats
+
+    def to_dict(self, include_schedule: bool = True,
+                include_stats: bool = False) -> Dict[str, object]:
+        """The stable report document (see ``docs/RUNTIME.md``).
+
+        ``schedule`` is the machine groups as pid lists (``None`` when the
+        solve produced nothing); ``objective`` is ``None`` in that case
+        too (JSON has no ``inf``).  ``stats`` is opt-in because solver
+        stats are free-form and not guaranteed JSON-serializable.
+        """
+        schedule = self.result.schedule
+        out: Dict[str, object] = {
+            "spec": self.spec,
+            "solver": self.solver,
+            "n": self.n,
+            "u": self.u,
+            "objective": (
+                None if math.isinf(self.result.objective)
+                else self.result.objective
+            ),
+            "optimal": self.result.optimal,
+            "solve_seconds": self.result.time_seconds,
+            "stopped": self.stopped,
+            "warm_started": self.warm_started,
+            "workers": self.workers,
+        }
+        if include_schedule:
+            out["schedule"] = (
+                None if schedule is None
+                else [list(g) for g in schedule.groups]
+            )
+        if include_stats:
+            out["stats"] = dict(self.result.stats)
+        return out
+
+
+def _apply_workers(solver: Solver, workers: int) -> int:
+    """Point the solver's worker knob at ``workers``; returns the applied
+    count (1 when the solver has no knob)."""
+    if workers <= 1:
+        return 1
+    if hasattr(solver, "parallel_workers"):
+        solver.parallel_workers = workers
+        return workers
+    if hasattr(solver, "workers"):
+        solver.workers = workers
+        return workers
+    return 1
+
+
+def run_solve(
+    problem: CoSchedulingProblem,
+    spec: Union[str, SolverSpec, Solver],
+    *,
+    budget: Optional[Budget] = None,
+    tracer=None,
+    warm_start=None,
+    workers: int = 1,
+) -> SolveReport:
+    """Solve ``problem`` with the solver named by ``spec``.
+
+    Parameters
+    ----------
+    spec:
+        A registry spec string (``"hastar?mer=4"``), a parsed
+        :class:`SolverSpec`, or an already constructed solver instance
+        (the escape hatch for bespoke configurations; it bypasses the
+        registry but still gets the session plumbing).
+    budget:
+        Optional :class:`~repro.solvers.budget.Budget`; budget-aware
+        solvers stop at the limit and return their best-so-far schedule.
+    tracer:
+        Optional :class:`~repro.perf.Tracer`.  Attached to
+        ``problem.counters`` for exactly the duration of this call; the
+        previously attached tracer (usually ``None``) is restored on exit
+        even when the solver raises.  The caller keeps ownership — the
+        session never closes it.
+    warm_start:
+        Optional incumbent :class:`~repro.core.schedule.CoSchedule`;
+        forwarded as ``initial_schedule`` (never-worse guarantee,
+        ``stats["warm_start"]``).
+    workers:
+        Worker processes for solvers that declare ``supports_workers``;
+        silently ignored elsewhere (check ``report.workers`` for what was
+        applied).
+
+    Raises
+    ------
+    SpecError
+        When the spec does not resolve (unknown solver, malformed or
+        rejected parameters).  Solver-side failures propagate as-is.
+    """
+    if isinstance(spec, Solver):
+        solver = spec
+        spec_str = getattr(solver, "name", type(solver).__name__)
+        can_fan_out = hasattr(solver, "parallel_workers") or hasattr(
+            solver, "workers"
+        )
+    else:
+        parsed = parse_spec(spec) if isinstance(spec, str) else spec
+        solver = create_solver(parsed)
+        spec_str = parsed.canonical()
+        can_fan_out = get_info(parsed.name).supports_workers
+    applied = _apply_workers(solver, workers) if can_fan_out else 1
+
+    counters = getattr(problem, "counters", None)
+    prev_tracer = getattr(counters, "tracer", None)
+    if tracer is not None and counters is not None:
+        counters.tracer = tracer
+    try:
+        result = solver.solve(problem, budget=budget,
+                              initial_schedule=warm_start)
+    finally:
+        # Restore whatever was attached before — the session must leave
+        # the problem exactly as it found it.
+        if tracer is not None and counters is not None:
+            counters.tracer = prev_tracer
+    return SolveReport(
+        spec=spec_str,
+        solver=result.solver,
+        result=result,
+        n=problem.n,
+        u=problem.u,
+        workers=applied,
+    )
+
+
+def spec_report_rows(reports: List[SolveReport]) -> List[Dict[str, object]]:
+    """Report dicts (schedule omitted) for a list of reports — the row
+    shape :func:`repro.sim.compare_solvers` builds on."""
+    return [r.to_dict(include_schedule=False) for r in reports]

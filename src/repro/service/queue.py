@@ -10,8 +10,9 @@ long-lived request pipeline:
 3. **coalesce** — if an identical problem is already queued or solving,
    attach this request to that in-flight solve instead of enqueuing a
    duplicate (``svc_coalesce``);
-4. **admit** — reject, with a structured reason, requests that would
-   overflow the bounded queue or whose budgets exceed the per-request /
+4. **admit** — reject, with a structured reason, requests that name a
+   solver spec the :mod:`repro.runtime` registry cannot resolve, would
+   overflow the bounded queue, or whose budgets exceed the per-request /
    global caps (``svc_reject``); otherwise enqueue into a priority lane
    (``svc_enqueue``);
 5. **solve** — a worker thread pops the highest-priority request, seeds
@@ -36,16 +37,8 @@ from typing import Callable, Dict, List, Optional
 from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
 from ..perf.counters import PerfCounters
-from ..solvers import (
-    Budget,
-    BranchBoundIP,
-    FallbackChain,
-    HAStar,
-    OAStar,
-    PolitenessGreedy,
-    SimulatedAnnealing,
-    SwapHillClimber,
-)
+from ..runtime import SpecError, parse_spec, run_solve, solver_names
+from ..solvers import Budget
 from .codec import (
     canonical_pid_map,
     problem_fingerprint,
@@ -55,20 +48,7 @@ from .codec import (
 )
 from .store import SolutionStore, StoreEntry
 
-__all__ = ["SOLVER_FACTORIES", "RequestRejected", "ServiceTicket",
-           "SolveService"]
-
-#: Solvers a request may name; each value builds a fresh instance (solver
-#: objects carry per-run state, so workers never share one).
-SOLVER_FACTORIES: Dict[str, Callable[[], object]] = {
-    "oastar": OAStar,
-    "hastar": HAStar,
-    "pg": PolitenessGreedy,
-    "hill": SwapHillClimber,
-    "anneal": SimulatedAnnealing,
-    "bb": BranchBoundIP,
-    "fallback": FallbackChain,
-}
+__all__ = ["RequestRejected", "ServiceTicket", "SolveService"]
 
 _BUDGET_FIELDS = ("wall_time", "max_expanded", "max_weight_evals")
 
@@ -77,9 +57,11 @@ class RequestRejected(RuntimeError):
     """Admission control refused the request.
 
     ``reason`` is machine-readable (``"queue_full"`` /
-    ``"request_budget"`` / ``"global_budget"`` / ``"unknown_solver"``);
-    ``detail`` explains it for humans.  :meth:`to_dict` is the structured
-    error body the HTTP layer returns with status 429/400.
+    ``"request_budget"`` / ``"global_budget"`` / ``"unknown_solver"`` /
+    ``"bad_solver_spec"`` — the last two forwarded verbatim from the
+    :mod:`repro.runtime` registry's spec validation); ``detail`` explains
+    it for humans.  :meth:`to_dict` is the structured error body the HTTP
+    layer returns with status 429/400.
     """
 
     def __init__(self, reason: str, detail: str):
@@ -204,7 +186,9 @@ class SolveService:
         Bound on *queued* (not yet running) requests; submissions beyond
         it are rejected with reason ``"queue_full"``.
     default_solver:
-        Solver name used when a request names none.
+        Solver spec used when a request names none (any
+        :mod:`repro.runtime` registry spec, e.g. ``"fallback"`` or
+        ``"hastar?mer=8"``).
     per_request_budget:
         Optional cap: each admitted request's budget must be limited to at
         most this in every currency the cap sets.
@@ -216,6 +200,11 @@ class SolveService:
         Optional :class:`~repro.perf.Tracer`; the service emits ``svc_*``
         events through it (guarded by an internal lock, so a shared sink
         is safe even with several workers).
+    solver_factories:
+        Optional override mapping ``name -> factory`` that *replaces* the
+        runtime registry for this service instance (tests inject failing
+        solvers this way).  When ``None`` (the default), solver specs
+        resolve through :func:`repro.runtime.run_solve`.
     """
 
     def __init__(
@@ -240,9 +229,15 @@ class SolveService:
         self.per_request_budget = per_request_budget
         self.global_budget = global_budget
         self.tracer = tracer
-        self.solver_factories = dict(solver_factories or SOLVER_FACTORIES)
-        if default_solver not in self.solver_factories:
-            raise ValueError(f"unknown default solver {default_solver!r}")
+        self.solver_factories = (
+            dict(solver_factories) if solver_factories is not None else None
+        )
+        try:
+            self._check_solver(default_solver)
+        except RequestRejected as exc:
+            raise ValueError(
+                f"unknown default solver {default_solver!r}: {exc.detail}"
+            ) from exc
 
         self.counters = PerfCounters()  # merged from every solved problem
         self._lock = threading.Lock()
@@ -323,6 +318,30 @@ class SolveService:
     # admission
     # ------------------------------------------------------------------ #
 
+    def available_solvers(self) -> tuple:
+        """The solver names this service accepts — the runtime registry's
+        set unless a ``solver_factories`` override is installed.  Reported
+        by ``GET /metrics`` so clients see the same set ``cosched list``
+        prints."""
+        if self.solver_factories is not None:
+            return tuple(sorted(self.solver_factories))
+        return solver_names()
+
+    def _check_solver(self, spec: str) -> None:
+        """Raise :class:`RequestRejected` unless ``spec`` resolves."""
+        if self.solver_factories is not None:
+            if spec not in self.solver_factories:
+                raise RequestRejected(
+                    "unknown_solver",
+                    f"{spec!r} is not one of "
+                    f"{sorted(self.solver_factories)}",
+                )
+            return
+        try:
+            parse_spec(spec)
+        except SpecError as exc:
+            raise RequestRejected(exc.reason, exc.detail) from exc
+
     def _check_admission(self, budget: Optional[Budget]) -> None:
         """Raise :class:`RequestRejected` if the request may not enter.
         Caller holds the lock; commits the budget on success."""
@@ -390,16 +409,13 @@ class SolveService:
         control refuses the request.
         """
         solver_name = solver if solver is not None else self.default_solver
-        if solver_name not in self.solver_factories:
+        try:
+            self._check_solver(solver_name)
+        except RequestRejected as exc:
             with self._lock:
                 self._stats["rejected"] += 1
-            exc = RequestRejected(
-                "unknown_solver",
-                f"{solver_name!r} is not one of "
-                f"{sorted(self.solver_factories)}",
-            )
             self._emit("svc_reject", reason=exc.reason, solver=solver_name)
-            raise exc
+            raise
         fp = problem_fingerprint(problem)
         pid_map = canonical_pid_map(problem)
 
@@ -502,9 +518,13 @@ class SolveService:
             self._emit("svc_warm_start", id=ticket.ticket_id, fingerprint=fp,
                        incumbent=warm.objective, from_solver=warm.solver)
         try:
-            solver = self.solver_factories[ticket.solver]()
-            result = solver.solve(problem, budget=budget,
-                                  initial_schedule=warm_schedule)
+            if self.solver_factories is not None:
+                solver = self.solver_factories[ticket.solver]()
+                result = solver.solve(problem, budget=budget,
+                                      initial_schedule=warm_schedule)
+            else:
+                result = run_solve(problem, ticket.solver, budget=budget,
+                                   warm_start=warm_schedule).result
             if result.schedule is None:
                 raise RuntimeError(
                     f"{result.solver} returned no schedule "
@@ -578,6 +598,7 @@ class SolveService:
                 "max_queue": self.max_queue,
                 "committed_budget": committed,
             },
+            "solvers": list(self.available_solvers()),
             "store": self.store.stats(),
             "solver_counters": solver_counters,
         }

@@ -132,7 +132,8 @@ class _Handler(BaseHTTPRequestHandler):
             ticket = service.submit(problem, solver=solver, budget=budget,
                                     priority=priority, refine=refine)
         except RequestRejected as exc:
-            status = 400 if exc.reason == "unknown_solver" else 429
+            bad_spec = ("unknown_solver", "bad_spec", "bad_param")
+            status = 400 if exc.reason in bad_spec else 429
             self._reply(status, exc.to_dict())
             return
         if wait > 0:

@@ -11,7 +11,7 @@ objective predicts it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 
 from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
@@ -20,6 +20,7 @@ from .engine import MachineState, OnlineJob, SimulationResult, simulate
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..solvers.base import Solver
     from ..solvers.budget import Budget
+    from ..runtime.registry import SolverSpec
 
 __all__ = ["simulate_schedule", "compare_schedules", "compare_solvers"]
 
@@ -114,7 +115,7 @@ def compare_schedules(
 
 def compare_solvers(
     problem: CoSchedulingProblem,
-    solvers: Dict[str, "Solver"],
+    solvers: Dict[str, Union[str, "SolverSpec", "Solver"]],
     budget: Optional["Budget"] = None,
     works: Optional[Sequence[float]] = None,
 ) -> Dict[str, Dict[str, float]]:
@@ -122,25 +123,30 @@ def compare_solvers(
     copy of ``budget``), replay the resulting schedule, and report both the
     static objective and the measured time-domain metrics.
 
+    ``solvers`` maps row labels to registry spec strings (``"hastar?mer=4"``
+    — see :mod:`repro.runtime`); already constructed solver instances are
+    still accepted as an escape hatch.  Each row is the solve's
+    :meth:`~repro.runtime.session.SolveReport.to_dict` document (minus the
+    schedule) — the same shape ``cosched solve --json`` and the service
+    emit — extended with the measured time-domain metrics.
+
     The anytime companion of :func:`compare_schedules` — with a budget each
     entry also records ``solve_seconds`` and ``stopped`` (``None`` for a
     complete run, else the tripped limit), so a sweep over deadline values
     shows how much schedule quality each second of solving buys.  Caches are
     cleared between solvers for fair timing.
     """
+    from ..runtime import run_solve
+
     out: Dict[str, Dict[str, float]] = {}
-    for label, solver in solvers.items():
+    for label, spec in solvers.items():
         problem.clear_caches()
-        result = solver.solve(problem, budget=budget)
-        entry: Dict[str, float] = {
-            "objective": result.objective,
-            "solve_seconds": result.time_seconds,
-            "stopped": result.budget_stopped,
-        }
-        if result.schedule is not None:
+        report = run_solve(problem, spec, budget=budget)
+        entry: Dict[str, float] = report.to_dict(include_schedule=False)
+        if report.schedule is not None:
             entry.update(
                 compare_schedules(
-                    problem, {label: result.schedule}, works=works
+                    problem, {label: report.schedule}, works=works
                 )[label]
             )
         out[label] = entry

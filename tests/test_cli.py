@@ -163,16 +163,21 @@ class TestProfileSurvivesFailure:
     def test_profile_printed_when_solve_raises(self, capsys, monkeypatch):
         # The finally-based profile emission must fire even when the solver
         # blows up mid-run.
-        import repro.cli as cli
+        from dataclasses import replace
+
+        from repro.runtime import REGISTRY
 
         class Boom:
             name = "boom"
 
-            def solve(self, problem, budget=None):
+            def solve(self, problem, budget=None, initial_schedule=None):
                 problem.counters.incr("doomed_work")
                 raise RuntimeError("midway explosion")
 
-        monkeypatch.setitem(cli.SOLVERS, "oastar", lambda: Boom())
+        monkeypatch.setitem(
+            REGISTRY, "oastar",
+            replace(REGISTRY["oastar"], factory=Boom),
+        )
         with pytest.raises(RuntimeError):
             main(["solve", "--cluster", "dual", "--profile",
                   "BT", "CG", "EP", "FT"])
@@ -191,17 +196,22 @@ class TestProfileSurvivesFailure:
 
     def test_trace_closed_when_solve_raises(self, tmp_path, capsys,
                                             monkeypatch):
-        import repro.cli as cli
+        from dataclasses import replace
+
+        from repro.runtime import REGISTRY
 
         class Boom:
             name = "boom"
 
-            def solve(self, problem, budget=None):
+            def solve(self, problem, budget=None, initial_schedule=None):
                 tracer = problem.counters.tracer
                 tracer.emit("solve_start", solver=self.name)
                 raise RuntimeError("midway explosion")
 
-        monkeypatch.setitem(cli.SOLVERS, "oastar", lambda: Boom())
+        monkeypatch.setitem(
+            REGISTRY, "oastar",
+            replace(REGISTRY["oastar"], factory=Boom),
+        )
         trace = tmp_path / "t.jsonl"
         with pytest.raises(RuntimeError):
             main(["solve", "--cluster", "dual", "--trace", str(trace),

@@ -178,6 +178,59 @@ class TestDocsLint:
         assert "test_repo_hygiene" in ci
 
 
+def solver_class_names():
+    """Every concrete Solver subclass the package exports, plus the
+    parallel wrappers — the classes only the runtime layer may build."""
+    import repro.solvers as solvers
+    from repro.solvers.base import Solver
+
+    names = {
+        name for name in solvers.__all__
+        if isinstance(getattr(solvers, name), type)
+        and issubclass(getattr(solvers, name), Solver)
+    }
+    return names | {"SplitOAStar", "PortfolioSolver"}
+
+
+class TestSolverConstructionBoundary:
+    """Only ``repro.runtime`` and ``repro.solvers`` may instantiate solver
+    classes.  Everything else goes through the registry (spec strings via
+    ``run_solve``/``create_solver``), so capabilities, tracing and budgets
+    stay uniform across surfaces.  AST-based: catches ``OAStar(...)`` and
+    ``solvers.OAStar(...)`` alike, without false positives on docs or
+    comments."""
+
+    ALLOWED = ("runtime", "solvers", "parallel")
+
+    def test_no_direct_solver_construction_outside_runtime(self):
+        banned = solver_class_names()
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            rel = path.relative_to(SRC)
+            # repro/parallel *defines* SplitOAStar/PortfolioSolver (and its
+            # classes are built by the registry's factories); everything it
+            # runs internally already resolves through create_solver.
+            if rel.parts[0] in self.ALLOWED:
+                continue
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = None
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute):
+                    name = func.attr
+                if name in banned:
+                    offenders.append(f"{rel}:{node.lineno} calls {name}()")
+        assert not offenders, (
+            "solver classes constructed outside repro.runtime/repro.solvers "
+            "(route through repro.runtime.run_solve or create_solver):\n"
+            + "\n".join(offenders)
+        )
+
+
 class TestExamplesCompile:
     @pytest.mark.parametrize(
         "path", sorted((REPO / "examples").glob("*.py")),
