@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+from ..perf import kernels as _kernels
 from .sdp import StackDistanceProfile
 
 __all__ = ["SDCResult", "sdc_effective_ways", "sdc_corun_misses"]
@@ -74,36 +75,12 @@ def sdc_effective_ways(
         raise ValueError("rates must be non-negative")
 
     weights = [1.0] * k if rates is None else [float(r) for r in rates]
-    # Current pointer of each process into its own profile.
-    ptr = [0] * k
-    won = [0] * k
+    # The walk itself — highest current rate-weighted counter wins each
+    # position, ties to the lower process index (reproducible across runs),
+    # leftovers dealt round-robin — runs on the active kernel backend
+    # (compiled when available, the pure-Python loop otherwise).
     counters = [p.counters for p in profiles]
-    for _pos in range(associativity):
-        best = -1
-        best_val = -1.0
-        for i in range(k):
-            if ptr[i] >= len(counters[i]):
-                continue
-            val = counters[i][ptr[i]] * weights[i]
-            # Deterministic tie-break on lower process index keeps the merge
-            # reproducible across runs.
-            if val > best_val:
-                best_val = val
-                best = i
-        if best < 0 or best_val <= 0.0:
-            break
-        won[best] += 1
-        ptr[best] += 1
-
-    # Distribute any unclaimed positions (all remaining counters zero) evenly
-    # so the full cache is always accounted for.
-    remaining = associativity - sum(won)
-    i = 0
-    while remaining > 0:
-        won[i % k] += 1
-        remaining -= 1
-        i += 1
-    return tuple(won)
+    return tuple(_kernels.sdc_merge_ways(counters, weights, associativity))
 
 
 def sdc_corun_misses(

@@ -12,6 +12,7 @@
     cosched simulate --jobs 60 --machines 4            # online policies
     cosched serve --port 8831 --workers 2              # memoizing HTTP service
     cosched submit --url http://127.0.0.1:8831 BT CG EP FT
+    cosched bench --out benchmarks/results/BENCH_abc123.json  # perf document
 
 ``solve`` co-schedules named catalog programs and prints the schedule plus
 its degradation breakdown; ``--solver`` takes a runtime registry spec
@@ -194,6 +195,45 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             tracer.close()
             print(f"trace: {tracer.events_written} events -> {args.trace}",
                   file=sys.stderr)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import bench, kernels
+
+    if args.repeats is not None and args.repeats < 1:
+        print("--repeats must be >= 1", file=sys.stderr)
+        return 2
+    info = kernels.backend_info()
+    print(f"kernel backend: {kernels.active_backend()} "
+          f"(provider {info['provider']})", file=sys.stderr)
+    doc = bench.run_bench(
+        smoke=args.smoke,
+        repeats=args.repeats,
+        results_dir=args.results_dir,
+    )
+    if args.out:
+        bench.write_bench(doc, args.out)
+        print(f"bench -> {args.out}", file=sys.stderr)
+    else:
+        import json
+
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    micro = doc["micro"]
+    for name in sorted(micro):
+        case = micro[name]
+        print(f"  {name:24s} numpy {case['numpy_ms']:8.3f}ms  "
+              f"active {case['active_ms']:8.3f}ms  "
+              f"x{case['speedup']:.2f}", file=sys.stderr)
+    solve = doc["solve"]
+    lat = solve["latency_ms"]
+    print(f"  solve {solve['spec']} n={solve['n']}: "
+          f"p50 {lat['p50']:.1f}ms  p90 {lat['p90']:.1f}ms  "
+          f"{solve['nodes_per_sec']:.0f} nodes/s", file=sys.stderr)
+    if doc["baseline"] is not None:
+        base = doc["baseline"]
+        print(f"  vs baseline {base['revision']}: "
+              f"x{base['speedup_vs_baseline']:.2f}", file=sys.stderr)
+    return 0
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
@@ -422,6 +462,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_graph.add_argument("--dot", action="store_true",
                          help="emit Graphviz DOT instead of ASCII")
     p_graph.set_defaults(func=_cmd_graph)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the perf suite, emit a BENCH_*.json document",
+    )
+    p_bench.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run: tiny inputs, few repeats, same schema",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="end-to-end solve repetitions (default: 9, or 3 with --smoke)",
+    )
+    p_bench.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON document here instead of stdout",
+    )
+    p_bench.add_argument(
+        "--results-dir", default="benchmarks/results", metavar="DIR",
+        help="where committed BENCH_*.json documents live; the newest one "
+             "for another revision becomes the speedup baseline",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_sim = sub.add_parser("simulate", help="online placement-policy race")
     p_sim.add_argument("--jobs", type=int, default=60)

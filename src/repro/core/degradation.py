@@ -31,6 +31,7 @@ import numpy as np
 
 from ..cache.cpu_time import degradation_from_misses
 from ..cache.sdc import sdc_corun_misses
+from ..perf import kernels as _kernels
 from .jobs import Workload
 from .machine import MachineSpec
 
@@ -363,10 +364,9 @@ class MatrixDegradationModel(CacheDegradationModel):
         nodes = np.asarray(nodes, dtype=np.intp)
         if nodes.ndim != 2:
             raise ValueError("nodes must be a 2-D (N, u) array of pids")
-        # Gather each node's u×u pairwise block; the node weight is its sum
-        # minus the self-interaction diagonal.
-        sub = self.pairwise[nodes[:, :, None], nodes[:, None, :]]
-        return sub.sum(axis=(1, 2)) - np.einsum("nii->n", sub)
+        # Each node's u×u pairwise block summed without its diagonal — one
+        # compiled pass, or the gather+einsum expression on the fallback.
+        return _kernels.pairwise_node_weights(self.pairwise, nodes)
 
     @classmethod
     def random_interaction(
@@ -538,14 +538,10 @@ class MissRatePressureModel(CacheDegradationModel):
         nodes = np.asarray(nodes, dtype=np.intp)
         if nodes.ndim != 2:
             raise ValueError("nodes must be a 2-D (N, u) array of pids")
-        m = self.miss_rates[nodes]
-        others = m.sum(axis=1, keepdims=True) - m
-        if self.saturation is None:
-            resp = others
-        else:
-            s = self.saturation
-            resp = s * (1.0 - np.exp(-others / s))
-        return self.kappa * np.einsum("nu,nu->n", m, resp)
+        return _kernels.pressure_node_weights(
+            self.miss_rates, self.miss_rates, nodes, self.kappa,
+            self.saturation,
+        )
 
 
 class AsymmetricContentionModel(CacheDegradationModel):
@@ -675,12 +671,6 @@ class AsymmetricContentionModel(CacheDegradationModel):
         nodes = np.asarray(nodes, dtype=np.intp)
         if nodes.ndim != 2:
             raise ValueError("nodes must be a 2-D (N, u) array of pids")
-        s_m = self.s[nodes]
-        a_m = self.a[nodes]
-        others = a_m.sum(axis=1, keepdims=True) - a_m
-        if self.saturation is None:
-            resp = others
-        else:
-            sat = self.saturation
-            resp = sat * (1.0 - np.exp(-others / sat))
-        return self.kappa * np.einsum("nu,nu->n", s_m, resp)
+        return _kernels.pressure_node_weights(
+            self.s, self.a, nodes, self.kappa, self.saturation,
+        )

@@ -34,6 +34,7 @@ from ..comm.properties import node_condensation_key
 from ..core.degradation import MissRatePressureModel
 from ..core.jobs import JobKind
 from ..core.problem import CoSchedulingProblem
+from ..perf import kernels as _kernels
 from ..perf.parallel_expand import ParallelLevelScorer
 from .subset_enum import iter_subsets_monotone
 
@@ -150,12 +151,14 @@ class SuccessorGenerator:
         if self._scorer is not None:
             self._scorer.close()
 
-    def _score_nodes(self, nodes: List[Tuple[int, ...]]) -> List[float]:
+    def _score_nodes(self, nodes: List[Tuple[int, ...]]) -> np.ndarray:
         """Weights for already-enumerated nodes, one kernel call per chunk.
 
         Routes through the problem's memoized batch evaluator; levels past
         ``parallel_threshold`` go to the worker pool instead (bypassing the
-        memo — frontiers that large are throw-away).
+        memo — frontiers that large are throw-away).  Returns the scored
+        float array itself so callers can trim or sort it without ever
+        materializing per-node Python objects.
         """
         if (
             self._scorer is not None
@@ -164,8 +167,8 @@ class SuccessorGenerator:
         ):
             weights = self._scorer.score(np.asarray(nodes, dtype=np.intp))
             self.problem.counters.observe_batch("parallel_level_score", len(nodes))
-            return weights.tolist()
-        return self.problem.node_weights_batch(nodes).tolist()
+            return weights
+        return self.problem.node_weights_batch(nodes)
 
     def _ensure_presorted(self) -> None:
         if self._levels_sorted is not None:
@@ -181,10 +184,13 @@ class SuccessorGenerator:
             if batch_ok:
                 weights = self._score_nodes(nodes)
             else:
-                weights = [self.problem.node_weight(nd) for nd in nodes]
-            entries = list(zip(weights, nodes))
-            entries.sort()
-            levels.append(entries)
+                weights = np.asarray(
+                    [self.problem.node_weight(nd) for nd in nodes]
+                )
+            # Stable argsort == (weight, node) order: nodes are enumerated
+            # in ascending node order, so position ties ARE node ties.
+            order = _kernels.select_smallest(weights, len(nodes))
+            levels.append([(float(weights[i]), nodes[i]) for i in order])
         self._levels_sorted = levels
 
     @staticmethod
@@ -300,14 +306,17 @@ class SuccessorGenerator:
             weights = self._score_nodes(nodes)
         else:
             node_weight = self.problem.node_weight
-            weights = [node_weight(nd) for nd in nodes]
-        out: List[Tuple[Tuple[int, ...], float]] = list(zip(nodes, weights))
-        self.stats["generated"] += len(out)
-        if limit is not None and limit < len(out):
-            out = heapq.nsmallest(limit, out, key=lambda t: (t[1], t[0]))
-        elif sort or limit is not None:
-            out.sort(key=lambda t: (t[1], t[0]))
-        return out
+            weights = np.asarray([node_weight(nd) for nd in nodes])
+        self.stats["generated"] += len(nodes)
+        if limit is not None or sort:
+            # Fused score-then-select (the MER top-n/u trim): the k lowest
+            # (weight, node) survivors come straight off the scored array —
+            # the full level is never materialized as Python pairs only to
+            # be re-partitioned by a heap.
+            k = len(nodes) if limit is None else min(limit, len(nodes))
+            sel = _kernels.select_smallest(weights, k)
+            return [(nodes[i], float(weights[i])) for i in sel]
+        return list(zip(nodes, weights.tolist()))
 
     def supports_stream(self) -> bool:
         """True when successors can be streamed in exact ascending weight

@@ -1,0 +1,295 @@
+"""``cosched bench`` — the committed performance trajectory.
+
+One command produces one machine-readable document::
+
+    cosched bench --out benchmarks/results/BENCH_$(git rev-parse --short HEAD).json
+
+The document records, for this working tree and this machine:
+
+* **micro kernels** — median latency of the three measured hot spots
+  (pairwise node weights, pressure node weights, the SDC merge walk, and
+  the fused score-then-select level trim) on both the active backend and
+  the NumPy reference, plus the speedup between them;
+* **end-to-end solve** — latency percentiles (p50/p90/max over repeated
+  solves) and nodes/second for a fixed synthetic HA* instance;
+* **provenance** — git revision, kernel backend (``native`` | ``numpy``),
+  provider (``cc``/``numba``/``numpy``), and the ``COSCHED_NATIVE``
+  opt-out state;
+* **trajectory** — the newest *other* ``BENCH_*.json`` in the results
+  directory is loaded as the committed baseline and the solve-latency
+  ratio against it is recorded, so each checked-in document extends a
+  comparable perf history instead of a pile of unrelated numbers.
+
+``--smoke`` shrinks sizes and repeats to CI scale (seconds, not minutes);
+the schema is identical, so the CI ``bench-smoke`` job validates the same
+document shape the full run commits.  :func:`validate` is that schema
+check — it raises ``ValueError`` with the offending key path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import statistics
+import subprocess
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["run_bench", "validate", "write_bench", "find_baseline",
+           "SCHEMA"]
+
+#: Schema tag embedded in (and required of) every bench document.
+SCHEMA = "cosched-bench/1"
+
+_REQUIRED_TOP = (
+    "schema", "revision", "created_unix", "kernel_backend", "provider",
+    "native_disabled", "smoke", "micro", "solve", "baseline",
+)
+_REQUIRED_MICRO = ("numpy_ms", "active_ms", "speedup")
+_REQUIRED_SOLVE = ("spec", "n", "u", "repeats", "latency_ms",
+                   "nodes_per_sec")
+_REQUIRED_LATENCY = ("p50", "p90", "max")
+
+
+def _git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:  # pragma: no cover - git missing
+        pass
+    return "unknown"  # pragma: no cover - outside a work tree
+
+
+def _median_ms(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall latency of ``fn`` over ``repeats`` runs (1 warmup)."""
+    fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - t0) * 1e3)
+    return statistics.median(samples)
+
+
+def _micro_cases(smoke: bool) -> Dict[str, Dict[str, object]]:
+    """The three measured hot spots, active backend vs NumPy reference."""
+    from . import kernels
+    from .kernels import numpy_backend
+
+    rng = np.random.default_rng(20260808)
+    if smoke:
+        n, u, N, repeats = 64, 4, 2_000, 5
+    else:
+        n, u, N, repeats = 256, 4, 60_000, 15
+    nodes = rng.integers(0, n, size=(N, u)).astype(np.intp)
+    P = rng.uniform(0.0, 0.4, size=(n, n))
+    np.fill_diagonal(P, 0.0)
+    rates = rng.uniform(0.15, 0.75, size=n)
+    # Above the cc backend's small-merge cutoff so the compiled walk runs.
+    counters = [tuple(rng.uniform(0, 1000, size=65)) for _ in range(8)]
+    sdc_w = [float(w) for w in rng.uniform(0.5, 2.0, size=8)]
+    sdc_reps = repeats * (40 if smoke else 200)
+    weights = rng.uniform(0.0, 1.0, size=N)
+    # The MER regime: keep n/u of a much larger level.
+    k = max(1, n // u)
+
+    cases: Dict[str, Dict[str, object]] = {}
+
+    def case(name: str, active: Callable[[], object],
+             reference: Callable[[], object], reps: int) -> None:
+        active_ms = _median_ms(active, reps)
+        numpy_ms = _median_ms(reference, reps)
+        cases[name] = {
+            "numpy_ms": numpy_ms,
+            "active_ms": active_ms,
+            "speedup": (numpy_ms / active_ms) if active_ms > 0 else math.inf,
+        }
+
+    case(
+        "pairwise_node_weights",
+        lambda: kernels.pairwise_node_weights(P, nodes),
+        lambda: numpy_backend.pairwise_node_weights(P, nodes),
+        repeats,
+    )
+    case(
+        "pressure_node_weights",
+        lambda: kernels.pressure_node_weights(rates, rates, nodes, 0.31, None),
+        lambda: numpy_backend.pressure_node_weights(
+            rates, rates, nodes, 0.31, None),
+        repeats,
+    )
+    case(
+        "sdc_merge_ways",
+        lambda: kernels.sdc_merge_ways(counters, sdc_w, 64),
+        lambda: numpy_backend.sdc_merge_ways(counters, sdc_w, 64),
+        sdc_reps,
+    )
+    case(
+        "select_smallest",
+        lambda: kernels.select_smallest(weights, k),
+        lambda: numpy_backend.select_smallest(weights, k),
+        repeats,
+    )
+    return cases
+
+
+def _solve_case(smoke: bool, repeats: Optional[int]) -> Dict[str, object]:
+    """Latency percentiles + nodes/sec for a fixed synthetic HA* solve."""
+    from ..runtime import run_solve
+    from ..workloads.synthetic import random_serial_instance
+
+    n = 24 if smoke else 64
+    reps = repeats if repeats is not None else (3 if smoke else 9)
+    spec = "hastar"
+    latencies: List[float] = []
+    nodes_total = 0
+    for i in range(reps):
+        problem = random_serial_instance(n, "quad", seed=17, saturation=4.0)
+        t0 = time.perf_counter()
+        report = run_solve(problem, spec)
+        latencies.append((time.perf_counter() - t0) * 1e3)
+        nodes_total += int(report.result.stats.get("nodes_generated", 0))
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        idx = min(len(latencies) - 1, int(math.ceil(q * len(latencies))) - 1)
+        return latencies[max(0, idx)]
+
+    total_s = sum(latencies) / 1e3
+    return {
+        "spec": spec,
+        "n": n,
+        "u": 4,
+        "repeats": reps,
+        "latency_ms": {"p50": pct(0.5), "p90": pct(0.9),
+                       "max": latencies[-1]},
+        "nodes_per_sec": (nodes_total / total_s) if total_s > 0 else 0.0,
+    }
+
+
+def find_baseline(results_dir: str,
+                  current_revision: str) -> Optional[Dict[str, object]]:
+    """The newest valid ``BENCH_*.json`` for a *different* revision.
+
+    Documents for the current revision are skipped (re-running the bench
+    must not make the tree its own baseline), as are unreadable or
+    schema-invalid files.
+    """
+    try:
+        names = sorted(
+            f for f in os.listdir(results_dir)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        )
+    except OSError:
+        return None
+    candidates = []
+    for name in names:
+        path = os.path.join(results_dir, name)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            validate(doc)
+        except (OSError, ValueError):
+            continue
+        if doc["revision"] != current_revision:
+            candidates.append((doc["created_unix"], doc))
+    if not candidates:
+        return None
+    return max(candidates, key=lambda c: c[0])[1]
+
+
+def run_bench(
+    smoke: bool = False,
+    repeats: Optional[int] = None,
+    results_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the micro + end-to-end suites and assemble the bench document.
+
+    ``results_dir`` (default ``benchmarks/results`` under the repo) is
+    only *read*, to locate the committed baseline; writing the document
+    is the caller's choice via :func:`write_bench`.
+    """
+    from . import kernels
+
+    revision = _git_revision()
+    info = kernels.backend_info()
+    doc: Dict[str, object] = {
+        "schema": SCHEMA,
+        "revision": revision,
+        "created_unix": int(time.time()),
+        "kernel_backend": kernels.active_backend(),
+        "provider": str(info.get("provider", "numpy")),
+        "native_disabled": bool(info.get("native_disabled", False)),
+        "smoke": bool(smoke),
+        "micro": _micro_cases(smoke),
+        "solve": _solve_case(smoke, repeats),
+    }
+    baseline = None
+    if results_dir:
+        prior = find_baseline(results_dir, revision)
+        if prior is not None:
+            prior_p50 = prior["solve"]["latency_ms"]["p50"]
+            cur_p50 = doc["solve"]["latency_ms"]["p50"]
+            baseline = {
+                "revision": prior["revision"],
+                "kernel_backend": prior["kernel_backend"],
+                "solve_p50_ms": prior_p50,
+                # >1 means this tree solves faster than the baseline.
+                "speedup_vs_baseline": (
+                    prior_p50 / cur_p50 if cur_p50 > 0 else math.inf
+                ),
+            }
+    doc["baseline"] = baseline
+    return doc
+
+
+def validate(doc: object) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a valid bench document."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be an object")
+    for key in _REQUIRED_TOP:
+        if key not in doc:
+            raise ValueError(f"missing key: {key}")
+    if doc["schema"] != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}, got {doc['schema']!r}")
+    if doc["kernel_backend"] not in ("native", "numpy"):
+        raise ValueError("kernel_backend must be 'native' or 'numpy'")
+    micro = doc["micro"]
+    if not isinstance(micro, dict) or not micro:
+        raise ValueError("micro must be a non-empty object")
+    for name, case in micro.items():
+        for key in _REQUIRED_MICRO:
+            if key not in case:
+                raise ValueError(f"missing key: micro.{name}.{key}")
+            if not isinstance(case[key], (int, float)):
+                raise ValueError(f"micro.{name}.{key} must be a number")
+    solve = doc["solve"]
+    for key in _REQUIRED_SOLVE:
+        if key not in solve:
+            raise ValueError(f"missing key: solve.{key}")
+    for key in _REQUIRED_LATENCY:
+        if key not in solve["latency_ms"]:
+            raise ValueError(f"missing key: solve.latency_ms.{key}")
+    baseline = doc["baseline"]
+    if baseline is not None:
+        for key in ("revision", "speedup_vs_baseline"):
+            if key not in baseline:
+                raise ValueError(f"missing key: baseline.{key}")
+
+
+def write_bench(doc: Dict[str, object], path: str) -> None:
+    """Validate and write ``doc`` as deterministic, diff-friendly JSON."""
+    validate(doc)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,198 @@
+/* Compiled batch kernels for the co-scheduling hot path.
+ *
+ * Fused single-pass versions of the three measured hot spots:
+ *
+ *   - pairwise_node_weights : MatrixDegradationModel's gather + block-sum
+ *     (the NumPy path materializes an (N, u, u) gather then reduces it;
+ *     here each node is one register-resident accumulation);
+ *   - pressure_node_weights : the shared miss-rate / asymmetric kernel
+ *     sum_i s_i * kappa * phi(A_T - a_i) (NumPy needs three (N, u)
+ *     temporaries plus an einsum; here one pass, no temporaries);
+ *   - sdc_merge_ways        : Chandra et al.'s SDC position-by-position
+ *     merge walk (a pure-Python double loop in the fallback);
+ *   - select_smallest       : bounded selection of the k lowest weights
+ *     with (weight, index) ordering — the MER top-n/u rule — so eager
+ *     level expansion never materializes Python tuples to re-partition.
+ *
+ * Every function is numerically identical to the NumPy fallback in
+ * repro/perf/kernels/numpy_backend.py: same IEEE double operations in the
+ * same association order, bit-for-bit reproducible tie-breaks.
+ *
+ * ABI: plain C, loaded via ctypes.  Indices are int64 (matching a 64-bit
+ * numpy intp); weights are float64.
+ */
+
+#include <stdint.h>
+#include <math.h>
+
+/* Node weights from a pairwise degradation table.
+ * P is row-major (n_procs x n_procs); nodes is row-major (N x u). */
+void pairwise_node_weights(const double *P, int64_t n_procs,
+                           const int64_t *nodes, int64_t N, int64_t u,
+                           double *out)
+{
+    for (int64_t r = 0; r < N; r++) {
+        const int64_t *row = nodes + r * u;
+        double total = 0.0;
+        for (int64_t i = 0; i < u; i++) {
+            const double *Pi = P + row[i] * n_procs;
+            for (int64_t j = 0; j < u; j++)
+                if (j != i)
+                    total += Pi[row[j]];
+        }
+        out[r] = total;
+    }
+}
+
+/* sum_i sens[i] * kappa * phi(sum_{j != i} aggr[j]) per node.
+ * saturation <= 0 selects the linear response phi(x) = x;
+ * MissRatePressureModel passes sens == aggr (the miss-rate vector). */
+void pressure_node_weights(const double *sens, const double *aggr,
+                           const int64_t *nodes, int64_t N, int64_t u,
+                           double kappa, double saturation, double *out)
+{
+    for (int64_t r = 0; r < N; r++) {
+        const int64_t *row = nodes + r * u;
+        double asum = 0.0;
+        for (int64_t i = 0; i < u; i++)
+            asum += aggr[row[i]];
+        double total = 0.0;
+        if (saturation > 0.0) {
+            for (int64_t i = 0; i < u; i++) {
+                double others = asum - aggr[row[i]];
+                total += sens[row[i]] *
+                         (saturation * (1.0 - exp(-others / saturation)));
+            }
+        } else {
+            for (int64_t i = 0; i < u; i++)
+                total += sens[row[i]] * (asum - aggr[row[i]]);
+        }
+        out[r] = kappa * total;
+    }
+}
+
+/* SDC merge: partition `assoc` cache ways among k co-running processes.
+ * counters is a flattened ragged array: process i's hit counters are
+ * counters[offsets[i] .. offsets[i] + lengths[i]).  weights are the
+ * access-rate normalizers.  Writes each process's won-way count to `won`.
+ * Semantics mirror repro.cache.sdc.sdc_effective_ways exactly: highest
+ * current rate-weighted counter wins the position (ties to the lower
+ * process index), the walk stops when every live counter is <= 0, and
+ * leftover positions are dealt round-robin from process 0. */
+void sdc_merge_ways(const double *counters, const int64_t *offsets,
+                    const int64_t *lengths, const double *weights,
+                    int64_t k, int64_t assoc, int64_t *won)
+{
+    int64_t ptr_buf[64];
+    int64_t *ptr = ptr_buf; /* k is the core count of one machine: tiny */
+    for (int64_t i = 0; i < k; i++) {
+        ptr[i] = 0;
+        won[i] = 0;
+    }
+    int64_t claimed = 0;
+    for (int64_t pos = 0; pos < assoc; pos++) {
+        int64_t best = -1;
+        double best_val = -1.0;
+        for (int64_t i = 0; i < k; i++) {
+            if (ptr[i] >= lengths[i])
+                continue;
+            double val = counters[offsets[i] + ptr[i]] * weights[i];
+            if (val > best_val) {
+                best_val = val;
+                best = i;
+            }
+        }
+        if (best < 0 || best_val <= 0.0)
+            break;
+        won[best] += 1;
+        ptr[best] += 1;
+        claimed += 1;
+    }
+    int64_t remaining = assoc - claimed;
+    int64_t i = 0;
+    while (remaining > 0) {
+        won[i % k] += 1;
+        remaining -= 1;
+        i += 1;
+    }
+}
+
+/* Indices of the k smallest weights, ordered by (weight, index) ascending —
+ * exactly the MER trim's (weight, node) tie-break, since level nodes are
+ * enumerated in ascending node order.  Bounded max-heap of k entries:
+ * O(N log k), no full sort, no Python objects. */
+static inline int heap_less(const double *w, const int64_t *idx,
+                            int64_t a, int64_t b)
+{
+    /* "less" in max-heap priority: (w, idx) of a precedes b. */
+    if (w[idx[a]] != w[idx[b]])
+        return w[idx[a]] < w[idx[b]];
+    return idx[a] < idx[b];
+}
+
+void select_smallest(const double *w, int64_t N, int64_t k, int64_t *out_idx)
+{
+    if (k > N)
+        k = N;
+    if (k <= 0)
+        return;
+    /* Build a max-heap (worst of the kept k at the root) in out_idx. */
+    int64_t size = 0;
+    for (int64_t i = 0; i < N; i++) {
+        if (size < k) {
+            out_idx[size++] = i;
+            int64_t c = size - 1;
+            while (c > 0) {
+                int64_t p = (c - 1) / 2;
+                if (heap_less(w, out_idx, p, c)) {
+                    int64_t t = out_idx[p];
+                    out_idx[p] = out_idx[c];
+                    out_idx[c] = t;
+                    c = p;
+                } else
+                    break;
+            }
+            continue;
+        }
+        /* Replace the root if i beats the current worst. */
+        if (w[i] > w[out_idx[0]] ||
+            (w[i] == w[out_idx[0]] && i > out_idx[0]))
+            continue;
+        out_idx[0] = i;
+        int64_t p = 0;
+        for (;;) {
+            int64_t l = 2 * p + 1, r = 2 * p + 2, m = p;
+            if (l < k && heap_less(w, out_idx, m, l))
+                m = l;
+            if (r < k && heap_less(w, out_idx, m, r))
+                m = r;
+            if (m == p)
+                break;
+            int64_t t = out_idx[p];
+            out_idx[p] = out_idx[m];
+            out_idx[m] = t;
+            p = m;
+        }
+    }
+    /* Heap-sort the kept entries into ascending (weight, index) order:
+     * repeatedly move the max to the tail. */
+    for (int64_t end = k - 1; end > 0; end--) {
+        int64_t t = out_idx[0];
+        out_idx[0] = out_idx[end];
+        out_idx[end] = t;
+        int64_t p = 0;
+        for (;;) {
+            int64_t l = 2 * p + 1, r = 2 * p + 2, m = p;
+            if (l < end && heap_less(w, out_idx, m, l))
+                m = l;
+            if (r < end && heap_less(w, out_idx, m, r))
+                m = r;
+            if (m == p)
+                break;
+            int64_t tt = out_idx[p];
+            out_idx[p] = out_idx[m];
+            out_idx[m] = tt;
+            p = m;
+        }
+    }
+}

@@ -1,0 +1,110 @@
+"""Pure-NumPy reference implementations of the batch kernels.
+
+This is the fallback backend — always importable, no compiler, no optional
+dependency — and the *semantic definition* every native backend is tested
+against (``tests/perf/test_kernels_equivalence.py`` asserts 1e-9 agreement
+on randomized inputs).  The vectorized bodies are exactly the expressions
+the degradation models shipped before the backends were split out, so
+selecting this backend reproduces the historical results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "pairwise_node_weights",
+    "pressure_node_weights",
+    "sdc_merge_ways",
+    "select_smallest",
+]
+
+
+def pairwise_node_weights(pairwise: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Node weights from a pairwise degradation table.
+
+    Gather each node's u x u pairwise block; the node weight is the block
+    sum minus the self-interaction diagonal (the ``nii->n`` trace).
+    """
+    sub = pairwise[nodes[:, :, None], nodes[:, None, :]]
+    return sub.sum(axis=(1, 2)) - np.einsum("nii->n", sub)
+
+
+def pressure_node_weights(
+    sens: np.ndarray,
+    aggr: np.ndarray,
+    nodes: np.ndarray,
+    kappa: float,
+    saturation: Optional[float],
+) -> np.ndarray:
+    """``sum_i s_i * kappa * phi(A_T - a_i)`` over N nodes at once.
+
+    ``sens is aggr`` gives :class:`~repro.core.degradation
+    .MissRatePressureModel`'s kernel; distinct vectors give the
+    asymmetric-contention kernel.  ``saturation=None`` is the linear
+    response ``phi(x) = x``.
+    """
+    s_m = sens[nodes]
+    a_m = aggr[nodes] if aggr is not sens else s_m
+    others = a_m.sum(axis=1, keepdims=True) - a_m
+    if saturation is None:
+        resp = others
+    else:
+        sat = saturation
+        resp = sat * (1.0 - np.exp(-others / sat))
+    return kappa * np.einsum("nu,nu->n", s_m, resp)
+
+
+def sdc_merge_ways(
+    counters: Sequence[Sequence[float]],
+    weights: Sequence[float],
+    associativity: int,
+) -> list:
+    """The SDC position-by-position merge walk (Chandra et al., HPCA'05).
+
+    At each of the ``associativity`` positions the process with the highest
+    current rate-weighted hit counter wins the position and advances its own
+    pointer; ties go to the lower process index, the walk stops when every
+    live counter is non-positive, and unclaimed positions are dealt
+    round-robin so the full cache is always accounted for.
+    """
+    k = len(counters)
+    ptr = [0] * k
+    won = [0] * k
+    for _pos in range(associativity):
+        best = -1
+        best_val = -1.0
+        for i in range(k):
+            if ptr[i] >= len(counters[i]):
+                continue
+            val = counters[i][ptr[i]] * weights[i]
+            if val > best_val:
+                best_val = val
+                best = i
+        if best < 0 or best_val <= 0.0:
+            break
+        won[best] += 1
+        ptr[best] += 1
+    remaining = associativity - sum(won)
+    i = 0
+    while remaining > 0:
+        won[i % k] += 1
+        remaining -= 1
+        i += 1
+    return won
+
+
+def select_smallest(weights: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest weights in ``(weight, index)`` order.
+
+    A stable argsort breaks ties by position exactly like the historical
+    ``heapq.nsmallest(..., key=lambda t: (weight, node))`` trim did (level
+    nodes are enumerated in ascending node order, so index order *is* node
+    order).
+    """
+    order = np.argsort(weights, kind="stable")
+    if k < len(order):
+        order = order[:k]
+    return order

@@ -1,46 +1,109 @@
-"""Opt-in multiprocessing level scoring.
+"""Opt-in multiprocessing level scoring over shared-memory node arrays.
 
 At HA*'s largest scales the per-level work is one embarrassingly parallel
 map: score every candidate node of the expansion level, keep the ``n/u``
-lightest (the MER rule).  :class:`ParallelLevelScorer` chunks a level's node
+lightest (the MER rule).  :class:`ParallelLevelScorer` spans a level's node
 array over a persistent worker pool; each worker holds a pickled copy of the
 degradation model (the same groundwork :mod:`repro.parallel.portfolio` relies
-on) and runs the vectorized ``node_weights_batch`` kernel on its chunk, so
+on) and runs the vectorized ``node_weights_batch`` kernel on its span, so
 the parallelism multiplies the batch-kernel speedup instead of replacing it.
+
+Levels move through :mod:`multiprocessing.shared_memory`, not pickles: the
+``(N, u)`` node array is written once into a shared segment, workers attach
+and read their ``[lo, hi)`` span in place, and weights come back through a
+second shared segment — the only pickled payload per task is a segment name
+and two integers.  (The old implementation pickled every chunk into the
+pool and pickled every weight array back out, which at million-node levels
+moved the whole frontier through IPC twice.)
+
+Segment hygiene is strict because leaked POSIX shared memory outlives the
+process: every segment created by a scorer is unlinked in a ``finally``
+even when workers die mid-task, :meth:`ParallelLevelScorer.close` is
+idempotent and doubles as the context-manager exit, and a module ``atexit``
+hook unlinks anything still registered if the interpreter goes down with a
+scorer open.
 
 Workers are spawned lazily on first use and live for the scorer's lifetime;
 call :meth:`ParallelLevelScorer.close` (the successor generator does) to
 release them.  Scoring falls back to in-process evaluation transparently if
-the pool cannot be created — the scorer is an accelerator, never a
-requirement.
+the pool or the shared segments cannot be created — the scorer is an
+accelerator, never a requirement.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures as cf
-from typing import Optional
+import secrets
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
-from ..core.degradation import CacheDegradationModel
+if TYPE_CHECKING:  # import-time cycle: core.degradation imports perf.kernels
+    from ..core.degradation import CacheDegradationModel
 
 __all__ = ["ParallelLevelScorer"]
 
-_WORKER_MODEL: Optional[CacheDegradationModel] = None
+_WORKER_MODEL: Optional["CacheDegradationModel"] = None
+
+#: Segments created (and not yet unlinked) by scorers in this process,
+#: keyed by name.  The atexit hook is the safety net for interpreter
+#: shutdown with a scorer still open; normal operation unlinks segments
+#: long before it runs.
+_LIVE_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
 
 
-def _init_worker(model: CacheDegradationModel) -> None:
+def _cleanup_live_segments() -> None:  # pragma: no cover - atexit path
+    for shm in list(_LIVE_SEGMENTS.values()):
+        try:
+            shm.close()
+            shm.unlink()
+        except OSError:
+            pass
+    _LIVE_SEGMENTS.clear()
+
+
+atexit.register(_cleanup_live_segments)
+
+
+def _init_worker(model: "CacheDegradationModel") -> None:
     global _WORKER_MODEL
     _WORKER_MODEL = model
 
 
-def _score_chunk(nodes: np.ndarray) -> np.ndarray:
+def _score_span(
+    in_name: str,
+    out_name: str,
+    shape: Tuple[int, int],
+    lo: int,
+    hi: int,
+) -> int:
+    """Score node rows ``[lo, hi)`` of the shared input segment in place.
+
+    Attaches to both segments by name, runs the model's batch kernel on a
+    zero-copy view of the span, writes the weights into the shared output
+    segment, and returns only the row count — nothing heavy crosses the
+    IPC pipe.
+    """
     assert _WORKER_MODEL is not None
-    return _WORKER_MODEL.node_weights_batch(nodes)
+    shm_in = shared_memory.SharedMemory(name=in_name)
+    try:
+        shm_out = shared_memory.SharedMemory(name=out_name)
+        try:
+            nodes = np.ndarray(shape, dtype=np.intp, buffer=shm_in.buf)
+            out = np.ndarray((shape[0],), dtype=np.float64,
+                             buffer=shm_out.buf)
+            out[lo:hi] = _WORKER_MODEL.node_weights_batch(nodes[lo:hi])
+        finally:
+            shm_out.close()
+    finally:
+        shm_in.close()
+    return hi - lo
 
 
 class ParallelLevelScorer:
-    """Score node arrays across a process pool.
+    """Score node arrays across a process pool via shared memory.
 
     Parameters
     ----------
@@ -51,10 +114,13 @@ class ParallelLevelScorer:
         scoring with no pool at all.
     chunk:
         Rows per task.  Levels smaller than one chunk are scored in-process
-        — fork/pickle overhead only pays off on big levels.
+        — fork and shared-segment overhead only pays off on big levels.
+
+    Usable as a context manager; :meth:`close` is idempotent, so belt-and-
+    suspenders ``finally: scorer.close()`` around a ``with`` block is safe.
     """
 
-    def __init__(self, model: CacheDegradationModel, workers: int,
+    def __init__(self, model: "CacheDegradationModel", workers: int,
                  chunk: int = 4096):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -65,12 +131,21 @@ class ParallelLevelScorer:
         self.chunk = chunk
         self._pool: Optional[cf.ProcessPoolExecutor] = None
         self._pool_broken = False
-        self.stats = {"parallel_batches": 0, "inline_batches": 0}
+        self._closed = False
+        self.stats = {
+            "parallel_batches": 0,
+            "inline_batches": 0,
+            "shm_bytes": 0,
+        }
 
     # ------------------------------------------------------------------ #
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def _ensure_pool(self) -> Optional[cf.ProcessPoolExecutor]:
-        if self._pool is not None or self._pool_broken:
+        if self._pool is not None or self._pool_broken or self._closed:
             return self._pool
         try:
             self._pool = cf.ProcessPoolExecutor(
@@ -83,6 +158,25 @@ class ParallelLevelScorer:
             self._pool = None
         return self._pool
 
+    @staticmethod
+    def _create_segment(nbytes: int) -> shared_memory.SharedMemory:
+        """A fresh named segment, registered for atexit cleanup."""
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, nbytes),
+            name=f"cosched_{secrets.token_hex(8)}",
+        )
+        _LIVE_SEGMENTS[shm.name] = shm
+        return shm
+
+    @staticmethod
+    def _release_segment(shm: shared_memory.SharedMemory) -> None:
+        _LIVE_SEGMENTS.pop(shm.name, None)
+        try:
+            shm.close()
+            shm.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
     def score(self, nodes: np.ndarray) -> np.ndarray:
         """Weights for an ``(N, u)`` int array of nodes, preserving order."""
         nodes = np.asarray(nodes, dtype=np.intp)
@@ -90,6 +184,7 @@ class ParallelLevelScorer:
             self.workers == 1
             or len(nodes) <= self.chunk
             or self._pool_broken
+            or self._closed
         ):
             self.stats["inline_batches"] += 1
             return self.model.node_weights_batch(nodes)
@@ -97,23 +192,55 @@ class ParallelLevelScorer:
         if pool is None:  # pragma: no cover - pool creation failed
             self.stats["inline_batches"] += 1
             return self.model.node_weights_batch(nodes)
-        chunks = [
-            nodes[lo:lo + self.chunk] for lo in range(0, len(nodes), self.chunk)
-        ]
+
+        n_rows = len(nodes)
+        shm_in = shm_out = None
         try:
-            parts = list(pool.map(_score_chunk, chunks))
-        except (cf.process.BrokenProcessPool, OSError):  # pragma: no cover
+            shm_in = self._create_segment(nodes.nbytes)
+            shm_out = self._create_segment(n_rows * 8)
+            shared_nodes = np.ndarray(nodes.shape, dtype=np.intp,
+                                      buffer=shm_in.buf)
+            shared_nodes[:] = nodes
+            spans = [
+                (lo, min(lo + self.chunk, n_rows))
+                for lo in range(0, n_rows, self.chunk)
+            ]
+            futures = [
+                pool.submit(_score_span, shm_in.name, shm_out.name,
+                            nodes.shape, lo, hi)
+                for lo, hi in spans
+            ]
+            for fut in futures:
+                fut.result()
+            out_view = np.ndarray((n_rows,), dtype=np.float64,
+                                  buffer=shm_out.buf)
+            weights = np.array(out_view)  # copy out before the unlink
+        except (cf.process.BrokenProcessPool, OSError,
+                ValueError):  # pragma: no cover - worker/platform failure
             self._pool_broken = True
-            self.close()
+            self._shutdown_pool()
             self.stats["inline_batches"] += 1
             return self.model.node_weights_batch(nodes)
+        finally:
+            # Unlink on every path — segments must never outlive the call.
+            if shm_in is not None:
+                self._release_segment(shm_in)
+            if shm_out is not None:
+                self._release_segment(shm_out)
         self.stats["parallel_batches"] += 1
-        return np.concatenate(parts)
+        self.stats["shm_bytes"] += nodes.nbytes + n_rows * 8
+        return weights
 
-    def close(self) -> None:
+    def _shutdown_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+
+    def close(self) -> None:
+        """Release the pool.  Idempotent: safe to call any number of times,
+        from ``finally`` blocks and the context-manager exit alike."""
+        self._closed = True
+        self._shutdown_pool()
 
     def __enter__(self) -> "ParallelLevelScorer":
         return self

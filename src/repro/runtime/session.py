@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from ..core.problem import CoSchedulingProblem
+from ..perf import kernels as _kernels
 from ..solvers.base import Solver, SolveResult
 from ..solvers.budget import Budget
 from .registry import SolverSpec, create_solver, get_info, parse_spec
@@ -106,6 +107,11 @@ class SolveReport:
             "stopped": self.stopped,
             "warm_started": self.warm_started,
             "workers": self.workers,
+            # Which batch-kernel backend scored this solve ("native" when
+            # the compiled kernels are active, "numpy" on the generic
+            # fallback or under COSCHED_NATIVE=0) — perf results are not
+            # comparable across backends, so every report carries it.
+            "kernel_backend": _kernels.active_backend(),
         }
         if include_schedule:
             out["schedule"] = (

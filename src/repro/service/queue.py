@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
+from ..perf import kernels as _kernels
 from ..perf.counters import PerfCounters
 from ..runtime import SpecError, parse_spec, run_solve, solver_names
 from ..solvers import Budget
@@ -601,4 +602,7 @@ class SolveService:
             "solvers": list(self.available_solvers()),
             "store": self.store.stats(),
             "solver_counters": solver_counters,
+            # Worker solves run in this process, so the backend selected at
+            # import time is the one scoring every queued request.
+            "kernel_backend": _kernels.active_backend(),
         }

@@ -32,6 +32,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -58,6 +59,7 @@ class _Record:
     g: float
     node: Optional[Tuple[int, ...]]  # node appended to reach this state
     parent: Optional["_Record"]
+    mask: int = 0  # scheduled-pid bitmask — the interned state identity
     floor_serial_rest: float = 0.0  # Σ dmin over unscheduled serial pids
     bal_a: float = 0.0   # Σ pressure over unscheduled (balance bound)
     bal_a2: float = 0.0  # Σ pressure² over unscheduled
@@ -288,8 +290,20 @@ class AStarSearch(Solver):
             floor_serial_rest=floor_serial_total,
             bal_a=sum(pressures),
             bal_a2=sum(p * p for p in pressures),
+            mask=0,
         )
-        kept: Dict[Tuple[int, ...], List[_Record]] = {root.unscheduled: [root]}
+        # Interned state keys.  A state's identity is its scheduled-pid
+        # bitmask (one Python int, incrementally OR-able and far cheaper to
+        # hash than an unscheduled tuple); masks are interned to dense ids
+        # on first sight, and per-state bookkeeping lives in flat sequences
+        # indexed by id — a packed ``array('d')`` of best-known g for the
+        # serial dismissal test, record buckets for the dominance frontier.
+        # The dict-of-int intern table is the only hash lookup per
+        # candidate, and the dismissal test runs before any tuple is built.
+        pid_bit = [1 << pid for pid in range(n)]
+        state_ids: Dict[int, int] = {0: 0}
+        buckets: List[List[_Record]] = [[root]]
+        best_g = array("d", [0.0])
         counter = itertools.count()
         h0 = estimator.h(root.unscheduled) if estimator else 0.0
         h0 = max(h0, h_floor(root.floor_serial_rest, root.par_max,
@@ -324,17 +338,23 @@ class AStarSearch(Solver):
             generator; for serial-only workloads it already equals the
             node's full g-increment (member degradations + extra cost), so
             the per-member degradation lookups are skipped entirely."""
-            members = frozenset(node)
+            node_mask = 0
+            for pid in node:
+                node_mask |= pid_bit[pid]
+            mask = rec.mask | node_mask
             if serial_only and node_w is not None:
-                # Fast path: the node weight IS the g-increment, so the
-                # dismissal test runs before any record bookkeeping — the
-                # overwhelming majority of candidates die right here.
+                # Fast path: the node weight IS the g-increment, and the
+                # state key is one OR over interned masks — so the
+                # dismissal test runs before any tuple or record is built.
+                # The overwhelming majority of candidates die right here.
                 g = rec.serial_sum + node_w
-                new_unscheduled = tuple(
-                    p for p in rec.unscheduled if p not in members
-                )
-                bucket = kept.setdefault(new_unscheduled, [])
-                if bucket and bucket[0].g <= g + _EPS:
+                sid = state_ids.get(mask)
+                if sid is None:
+                    sid = len(buckets)
+                    state_ids[mask] = sid
+                    buckets.append([])
+                    best_g.append(math.inf)
+                elif best_g[sid] <= g + _EPS:
                     counters["dismissed"] += 1
                     return None
                 floor_serial_rest = rec.floor_serial_rest
@@ -346,7 +366,10 @@ class AStarSearch(Solver):
                         bal_a2 -= p * p
                     floor_serial_rest -= dmin[pid]
                 cand = _Record(
-                    unscheduled=new_unscheduled,
+                    unscheduled=tuple(
+                        p for p in rec.unscheduled
+                        if not node_mask & pid_bit[p]
+                    ),
                     serial_sum=g,
                     par_max=rec.par_max,
                     par_remaining=rec.par_remaining,
@@ -356,13 +379,17 @@ class AStarSearch(Solver):
                     floor_serial_rest=floor_serial_rest,
                     bal_a=bal_a,
                     bal_a2=bal_a2,
+                    mask=mask,
                 )
+                best_g[sid] = g
+                bucket = buckets[sid]
                 if bucket:
                     bucket[0].alive = False
                     bucket[0] = cand
                 else:
                     bucket.append(cand)
                 return cand
+            members = frozenset(node)
 
             par_max = list(rec.par_max)
             par_remaining = list(rec.par_remaining)
@@ -405,16 +432,23 @@ class AStarSearch(Solver):
                 floor_serial_rest=floor_serial_rest,
                 bal_a=bal_a,
                 bal_a2=bal_a2,
+                mask=mask,
             )
 
-            bucket = kept.setdefault(new_unscheduled, [])
+            sid = state_ids.get(mask)
+            if sid is None:
+                sid = len(buckets)
+                state_ids[mask] = sid
+                buckets.append([])
+                best_g.append(math.inf)
+            bucket = buckets[sid]
             if self.dismiss == "paper":
+                if best_g[sid] <= g + _EPS:
+                    counters["dismissed"] += 1
+                    return None
+                best_g[sid] = g
                 if bucket:
-                    best = bucket[0]
-                    if best.g <= g + _EPS:
-                        counters["dismissed"] += 1
-                        return None
-                    best.alive = False
+                    bucket[0].alive = False
                     bucket[0] = cand
                 else:
                     bucket.append(cand)

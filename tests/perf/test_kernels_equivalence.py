@@ -1,0 +1,225 @@
+"""Native-vs-NumPy kernel equivalence: the contract behind backend swap.
+
+The compiled backend may only ship results the NumPy reference would have
+produced — callers never know which backend scored them.  This suite
+checks that bit-level promise on randomized inputs far larger than the
+import-time self-check: every degradation model's batch kernel, the SDC
+merge walk across ragged group shapes, and the (weight, index) tie-break
+of the fused level select.  A subprocess test pins ``COSCHED_NATIVE=0``
+and asserts the dispatcher reports (and uses) the NumPy fallback.
+
+When no native provider loads in this environment, the dispatch tests
+reduce to NumPy-vs-NumPy and the dedicated native assertions skip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.degradation import (
+    AsymmetricContentionModel,
+    MatrixDegradationModel,
+    MissRatePressureModel,
+)
+from repro.perf import kernels
+from repro.perf.kernels import native, numpy_backend
+
+ATOL = 1e-9
+
+
+def nodes_for(rng, n, u, count):
+    return rng.integers(0, n, size=(count, u)).astype(np.intp)
+
+
+def native_impl():
+    impl = native.load_numba_backend() or native.load_cc_backend()
+    if impl is None:
+        pytest.skip("no native kernel provider in this environment")
+    return impl
+
+
+class TestDegradationModelEquivalence:
+    """Batch node weights agree between backends for every model."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matrix_model(self, seed):
+        rng = np.random.default_rng(seed)
+        n, u = int(rng.integers(4, 40)), int(rng.integers(2, 9))
+        P = rng.uniform(0.0, 0.5, size=(n, n))
+        np.fill_diagonal(P, 0.0)
+        model = MatrixDegradationModel(pairwise=P)
+        nodes = nodes_for(rng, n, u, 500)
+        ref = numpy_backend.pairwise_node_weights(P, nodes)
+        np.testing.assert_allclose(
+            model.node_weights_batch(nodes), ref, rtol=0, atol=ATOL)
+        got = native_impl().pairwise_node_weights(P, nodes)
+        np.testing.assert_allclose(got, ref, rtol=0, atol=ATOL)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("saturation", [None, 0.9, 4.0])
+    def test_miss_rate_model(self, seed, saturation):
+        rng = np.random.default_rng(100 + seed)
+        n, u = int(rng.integers(4, 60)), int(rng.integers(2, 9))
+        model = MissRatePressureModel.random(n, cores=u, seed=seed,
+                                             saturation=saturation)
+        nodes = nodes_for(rng, n, u, 500)
+        ref = numpy_backend.pressure_node_weights(
+            model.miss_rates, model.miss_rates, nodes, model.kappa,
+            model.saturation)
+        np.testing.assert_allclose(
+            model.node_weights_batch(nodes), ref, rtol=0, atol=ATOL)
+        got = native_impl().pressure_node_weights(
+            model.miss_rates, model.miss_rates, nodes, model.kappa,
+            model.saturation)
+        np.testing.assert_allclose(got, ref, rtol=0, atol=ATOL)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("saturation", [None, 0.9])
+    def test_asymmetric_model(self, seed, saturation):
+        rng = np.random.default_rng(200 + seed)
+        n, u = int(rng.integers(4, 60)), int(rng.integers(2, 9))
+        model = AsymmetricContentionModel.random(n, cores=u, seed=seed,
+                                                 saturation=saturation)
+        nodes = nodes_for(rng, n, u, 500)
+        ref = numpy_backend.pressure_node_weights(
+            model.s, model.a, nodes, model.kappa, model.saturation)
+        np.testing.assert_allclose(
+            model.node_weights_batch(nodes), ref, rtol=0, atol=ATOL)
+        got = native_impl().pressure_node_weights(
+            model.s, model.a, nodes, model.kappa, model.saturation)
+        np.testing.assert_allclose(got, ref, rtol=0, atol=ATOL)
+
+    def test_batch_matches_scalar_node_weight(self):
+        # The dispatcher output must still agree with the scalar path the
+        # kernels replaced, not just with the other backend.
+        rng = np.random.default_rng(7)
+        model = AsymmetricContentionModel.random(12, cores=4, seed=7,
+                                                 saturation=0.9)
+        # Distinct pids per row — the scalar path works on process *sets*.
+        nodes = np.array([rng.permutation(12)[:4] for _ in range(50)],
+                         dtype=np.intp)
+        batch = model.node_weights_batch(nodes)
+        for row, w in zip(nodes, batch):
+            scalar = sum(
+                model.cache_degradation(
+                    int(p), frozenset(int(q) for q in row) - {int(p)})
+                for p in row
+            )
+            assert abs(scalar - w) < 1e-9
+
+
+class TestSdcMergeEquivalence:
+    """The merge walk: ragged shapes, rates, ties, zero counters."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_groups(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        impl = native_impl()
+        k = int(rng.integers(1, 9))
+        counters = [
+            tuple(rng.uniform(0.0, 100.0,
+                              size=int(rng.integers(1, 70))))
+            for _ in range(k)
+        ]
+        weights = [float(w) for w in rng.uniform(0.0, 2.0, size=k)]
+        # Span both sides of the cc backend's small-merge cutoff.
+        for assoc in (4, 16, 64, 128):
+            assert impl.sdc_merge_ways(counters, weights, assoc) == \
+                numpy_backend.sdc_merge_ways(counters, weights, assoc)
+            assert kernels.sdc_merge_ways(counters, weights, assoc) == \
+                numpy_backend.sdc_merge_ways(counters, weights, assoc)
+
+    def test_exhausted_counters_deal_round_robin(self):
+        impl = native_impl()
+        counters = [(1.0,), (2.0,)]
+        for assoc in (64, 256):
+            assert impl.sdc_merge_ways(counters, [1.0, 1.0], assoc) == \
+                numpy_backend.sdc_merge_ways(counters, [1.0, 1.0], assoc)
+
+    def test_ties_go_to_lower_index(self):
+        impl = native_impl()
+        counters = [(5.0,) * 40, (5.0,) * 40, (5.0,) * 40]
+        weights = [1.0, 1.0, 1.0]
+        assert impl.sdc_merge_ways(counters, weights, 96) == \
+            numpy_backend.sdc_merge_ways(counters, weights, 96)
+
+    def test_zero_rate_process_wins_nothing_directly(self):
+        impl = native_impl()
+        counters = [(9.0,) * 80, (9.0,) * 80]
+        assert impl.sdc_merge_ways(counters, [1.0, 0.0], 128) == \
+            numpy_backend.sdc_merge_ways(counters, [1.0, 0.0], 128)
+
+
+class TestSelectSmallest:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_stable_argsort(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        w = rng.uniform(0.0, 1.0, size=2000)
+        # Inject duplicate weights: ties must break on the lower index.
+        dup = rng.integers(0, 2000, size=100)
+        w[dup] = w[dup[0]]
+        for k in (1, 5, 100, 2000):
+            assert list(kernels.select_smallest(w, k)) == \
+                list(numpy_backend.select_smallest(w, k))
+
+    def test_k_zero_and_oversized(self):
+        w = np.array([3.0, 1.0, 2.0])
+        assert list(kernels.select_smallest(w, 0)) == []
+        assert list(kernels.select_smallest(w, 99)) == [1, 2, 0]
+
+
+class TestForcedFallback:
+    """``COSCHED_NATIVE=0`` must pin the NumPy backend in a fresh process."""
+
+    def _probe(self, env_extra):
+        env = dict(os.environ)
+        env.update(env_extra)
+        src_dir = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src_dir)
+        code = (
+            "import json\n"
+            "from repro.perf import kernels\n"
+            "import numpy as np\n"
+            "w = kernels.pressure_node_weights(\n"
+            "    np.array([0.2, 0.5, 0.7]), np.array([0.2, 0.5, 0.7]),\n"
+            "    np.array([[0, 1], [1, 2]], dtype=np.intp), 0.5, None)\n"
+            "print(json.dumps({'info': kernels.backend_info(),\n"
+            "                  'w': w.tolist()}))\n"
+        )
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, timeout=120)
+        assert out.returncode == 0, out.stderr
+        return json.loads(out.stdout.strip().splitlines()[-1])
+
+    def test_opt_out_forces_numpy(self):
+        got = self._probe({"COSCHED_NATIVE": "0"})
+        assert got["info"]["backend"] == "numpy"
+        assert got["info"]["provider"] == "numpy"
+        assert got["info"]["native_disabled"] is True
+
+    def test_opt_out_results_match_default(self):
+        disabled = self._probe({"COSCHED_NATIVE": "0"})
+        default = self._probe({})
+        np.testing.assert_allclose(disabled["w"], default["w"],
+                                   rtol=0, atol=ATOL)
+
+    def test_backend_pin_numpy(self):
+        got = self._probe({"COSCHED_KERNEL_BACKEND": "numpy"})
+        assert got["info"]["backend"] == "numpy"
+
+    def test_report_surfaces_backend(self):
+        # SolveReport.to_dict carries the active backend name.
+        from repro.runtime import run_solve
+        from repro.workloads.synthetic import random_serial_instance
+
+        report = run_solve(random_serial_instance(8, "dual", seed=1),
+                           "oastar")
+        doc = report.to_dict()
+        assert doc["kernel_backend"] in ("native", "numpy")
+        assert doc["kernel_backend"] == kernels.active_backend()

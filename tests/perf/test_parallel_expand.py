@@ -63,3 +63,88 @@ class TestPoolPath:
             scorer.score(nodes)
             assert scorer._pool is pool
         assert scorer._pool is None  # closed by the context manager
+
+
+class TestSharedMemoryHygiene:
+    """Segments must never outlive a score() call, and close() must be
+    safe to call from every cleanup path at once."""
+
+    def test_no_live_segments_after_score(self):
+        from repro.perf import parallel_expand
+
+        model, nodes = model_and_nodes()
+        with ParallelLevelScorer(model, workers=2, chunk=512) as scorer:
+            scorer.score(nodes)
+            assert scorer.stats["parallel_batches"] == 1
+            assert parallel_expand._LIVE_SEGMENTS == {}
+        assert parallel_expand._LIVE_SEGMENTS == {}
+
+    def test_segments_unlinked_when_pool_breaks(self):
+        from repro.perf import parallel_expand
+
+        model, nodes = model_and_nodes()
+        scorer = ParallelLevelScorer(model, workers=2, chunk=512)
+        try:
+            # Break the pool out from under the scorer: submit raises, and
+            # the finally block must still unlink both segments while the
+            # call falls back inline.
+            pool = scorer._ensure_pool()
+            assert pool is not None
+
+            def refuse(*_args, **_kwargs):
+                raise OSError("pool gone")
+
+            pool.submit = refuse
+            out = scorer.score(nodes)
+            np.testing.assert_allclose(out, model.node_weights_batch(nodes))
+            assert parallel_expand._LIVE_SEGMENTS == {}
+            assert scorer._pool_broken
+        finally:
+            scorer.close()
+
+    def test_close_is_idempotent(self):
+        model, _ = model_and_nodes()
+        scorer = ParallelLevelScorer(model, workers=2)
+        scorer.close()
+        assert scorer.closed
+        scorer.close()  # second call must be a no-op, not an error
+        scorer.close()
+        assert scorer.closed
+
+    def test_closed_scorer_scores_inline(self):
+        model, nodes = model_and_nodes()
+        scorer = ParallelLevelScorer(model, workers=2, chunk=512)
+        scorer.close()
+        out = scorer.score(nodes)
+        np.testing.assert_allclose(out, model.node_weights_batch(nodes))
+        assert scorer.stats["parallel_batches"] == 0
+
+    def test_context_manager_plus_finally_close(self):
+        model, nodes = model_and_nodes()
+        scorer = ParallelLevelScorer(model, workers=2, chunk=512)
+        try:
+            with scorer:
+                scorer.score(nodes)
+        finally:
+            scorer.close()  # belt-and-suspenders pattern must be safe
+        assert scorer.closed
+
+    def test_stats_track_shm_traffic(self):
+        model, nodes = model_and_nodes()
+        with ParallelLevelScorer(model, workers=2, chunk=512) as scorer:
+            scorer.score(nodes)
+        assert scorer.stats["shm_bytes"] == nodes.nbytes + len(nodes) * 8
+
+    def test_atexit_hook_unlinks_registered_segments(self):
+        from repro.perf import parallel_expand
+
+        seg = ParallelLevelScorer._create_segment(128)
+        name = seg.name
+        assert name in parallel_expand._LIVE_SEGMENTS
+        parallel_expand._cleanup_live_segments()
+        assert parallel_expand._LIVE_SEGMENTS == {}
+        # The segment is actually gone, not just deregistered.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

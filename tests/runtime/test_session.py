@@ -94,6 +94,7 @@ class TestReportDict:
     EXPECTED_KEYS = {
         "spec", "solver", "n", "u", "objective", "optimal",
         "solve_seconds", "stopped", "warm_started", "workers",
+        "kernel_backend",
     }
 
     def test_stable_schema(self, problem):

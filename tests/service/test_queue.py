@@ -53,6 +53,9 @@ def test_solve_then_cache_hit():
         m = svc.metrics()
         assert m["requests"]["solves"] == 1
         assert m["requests"]["cache_hits"] == 1
+        from repro.perf import kernels
+
+        assert m["kernel_backend"] == kernels.active_backend()
 
 
 def test_identical_requests_coalesce_to_one_solve():

@@ -218,3 +218,65 @@ class TestProfileSurvivesFailure:
                   "BT", "CG", "EP", "FT"])
         # The finally flushed and closed the tracer: the event is on disk.
         assert '"ev":"solve_start"' in trace.read_text()
+
+
+class TestBenchCommand:
+    def test_smoke_writes_valid_document(self, tmp_path, capsys):
+        import json
+
+        from repro.perf import bench, kernels
+
+        out = tmp_path / "BENCH_test.json"
+        rc = main(["bench", "--smoke", "--repeats", "1",
+                   "--out", str(out), "--results-dir", str(tmp_path)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        bench.validate(doc)  # raises on any schema violation
+        assert doc["smoke"] is True
+        assert doc["kernel_backend"] == kernels.active_backend()
+        assert doc["solve"]["repeats"] == 1
+        err = capsys.readouterr().err
+        assert "kernel backend:" in err
+
+    def test_smoke_stdout_json(self, capsys):
+        import json
+
+        from repro.perf import bench
+
+        rc = main(["bench", "--smoke", "--repeats", "1",
+                   "--results-dir", "benchmarks/results"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        bench.validate(doc)
+
+    def test_rejects_bad_repeats(self, capsys):
+        assert main(["bench", "--smoke", "--repeats", "0"]) == 2
+
+    def test_baseline_picked_up_from_results_dir(self, tmp_path):
+        import json
+
+        from repro.perf import bench
+
+        first = bench.run_bench(smoke=True, repeats=1)
+        first["revision"] = "0000000"  # pretend it came from another tree
+        bench.write_bench(first, str(tmp_path / "BENCH_0000000.json"))
+        second = bench.run_bench(smoke=True, repeats=1,
+                                 results_dir=str(tmp_path))
+        assert second["baseline"] is not None
+        assert second["baseline"]["revision"] == "0000000"
+        assert second["baseline"]["speedup_vs_baseline"] > 0
+
+    def test_validate_rejects_malformed(self):
+        from repro.perf import bench
+
+        good = bench.run_bench(smoke=True, repeats=1)
+        bench.validate(good)
+        for missing in ("schema", "micro", "solve", "kernel_backend"):
+            bad = dict(good)
+            del bad[missing]
+            try:
+                bench.validate(bad)
+            except ValueError as exc:
+                assert missing in str(exc)
+            else:
+                raise AssertionError(f"missing {missing} not caught")
