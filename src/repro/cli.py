@@ -11,6 +11,7 @@
     cosched graph --cluster dual BT CG EP FT IS LU     # Fig. 3-style view
     cosched simulate --jobs 60 --machines 4            # online policies
     cosched serve --port 8831 --workers 2              # memoizing HTTP service
+    cosched serve --shards 4 --store memo.jsonl        # multi-process tier
     cosched submit --url http://127.0.0.1:8831 BT CG EP FT
     cosched bench --out benchmarks/results/BENCH_abc123.json  # perf document
 
@@ -27,8 +28,11 @@ the instance through the :mod:`repro.service` codec, so a solve is
 reproducible outside the catalog.  ``graph`` renders the co-scheduling
 graph with the chosen solver's path highlighted; ``simulate`` races online
 placement policies on a random arrival trace.  ``serve`` runs the
-memoizing solve service (``docs/SERVICE.md``); ``submit`` sends one
-problem to a running service and prints the resolved schedule.
+memoizing solve service (``docs/SERVICE.md``) — single-process by
+default, or ``--shards N`` for the multi-process sharded tier
+(``docs/DEPLOYMENT.md``) with graceful SIGTERM drain and load-shedding
+via ``--shed-solver``; ``submit`` sends one problem to a running service
+and prints the resolved schedule.
 
 Every subcommand resolves solvers through :mod:`repro.runtime` — the CLI,
 the HTTP service and the experiment runners all accept the same solver
@@ -229,6 +233,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"  solve {solve['spec']} n={solve['n']}: "
           f"p50 {lat['p50']:.1f}ms  p90 {lat['p90']:.1f}ms  "
           f"{solve['nodes_per_sec']:.0f} nodes/s", file=sys.stderr)
+    service = doc.get("service")
+    if service:
+        for point in service["points"]:
+            print(f"  service {point['shards']} shard(s): "
+                  f"{point['rps']:.1f} req/s "
+                  f"({point['solves']} solves, "
+                  f"{point['cache_hits']} hits, "
+                  f"{point['coalesced']} coalesced)", file=sys.stderr)
+        print(f"  service speedup at {service['points'][-1]['shards']} "
+              f"shards: x{service['speedup_max_shards']:.2f}",
+              file=sys.stderr)
     if doc["baseline"] is not None:
         base = doc["baseline"]
         print(f"  vs baseline {base['revision']}: "
@@ -302,36 +317,81 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
     import threading
 
-    from .service import SolutionStore, SolveService, start_http_server
+    shed = args.shed_solver or None
+    stop = threading.Event()
+    # SIGTERM (and Ctrl-C) triggers the graceful drain contract: stop
+    # admitting (503 + Retry-After), finish everything in flight, exit.
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
 
     tracer = None
     if args.trace:
         from .perf import Tracer
 
         tracer = Tracer(args.trace, flush_every=1)
+
+    if args.shards > 0:
+        from .service import ShardedService, start_dispatcher_server
+
+        sharded = ShardedService(
+            shards=args.shards,
+            workers_per_shard=args.workers,
+            max_queue=args.max_queue,
+            default_solver=args.solver,
+            store_path=args.store,
+            store_capacity=args.store_capacity,
+            shed_policy=shed,
+            drain_timeout=args.drain_timeout,
+            tracer=tracer,
+        )
+        server = start_dispatcher_server(sharded, host=args.host,
+                                         port=args.port)
+        print(f"cosched sharded tier on {server.url} "
+              f"({args.shards} shards x {args.workers} workers, "
+              f"default solver {args.solver!r}, shed policy {shed!r}; "
+              "POST /solve, GET /status/<id>, GET /metrics, GET /health; "
+              "SIGTERM drains)")
+        try:
+            stop.wait()
+        except KeyboardInterrupt:
+            pass
+        print("\ndraining sharded tier", file=sys.stderr)
+        graceful = sharded.drain()
+        server.shutdown()
+        if tracer is not None:
+            tracer.close()
+        return 0 if graceful else 1
+
+    from .service import SolutionStore, SolveService, start_http_server
+
     store = SolutionStore(capacity=args.store_capacity, path=args.store)
     service = SolveService(
         store=store,
         workers=args.workers,
         max_queue=args.max_queue,
         default_solver=args.solver,
+        shed_policy=shed,
         tracer=tracer,
     )
     server = start_http_server(service, host=args.host, port=args.port)
     print(f"cosched service on {server.url} "
           f"({args.workers} workers, default solver {args.solver!r}; "
-          "POST /solve, GET /status/<id>, GET /metrics; Ctrl-C stops)")
+          "POST /solve, GET /status/<id>, GET /metrics; "
+          "SIGTERM drains, Ctrl-C stops)")
     try:
-        threading.Event().wait()
+        stop.wait()
     except KeyboardInterrupt:
         print("\nshutting down", file=sys.stderr)
-    finally:
-        server.shutdown()
-        service.stop()
-        if tracer is not None:
-            tracer.close()
+    else:
+        print("\ndraining", file=sys.stderr)
+        service.drain(timeout=args.drain_timeout)
+    server.shutdown()
+    service.stop()
+    store.close()
+    if tracer is not None:
+        tracer.close()
     return 0
 
 
@@ -527,6 +587,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="FILE",
         help="stream svc_* + solver JSONL events to FILE; summarize with "
              "'python -m repro.analysis.trace_report FILE'",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the multi-process tier: N shard worker processes behind "
+             "a fingerprint-routing dispatcher (0 = single process; see "
+             "docs/DEPLOYMENT.md)",
+    )
+    p_serve.add_argument(
+        "--shed-solver", default="pg", metavar="SPEC",
+        help="cheap non-exact solver chain used to degrade (not reject) "
+             "requests when a queue saturates or a shard dies; empty "
+             "string disables shedding",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long a SIGTERM-triggered drain waits for in-flight "
+             "solves before forcing shutdown",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -12,6 +12,12 @@ The document records, for this working tree and this machine:
   the NumPy reference, plus the speedup between them;
 * **end-to-end solve** — latency percentiles (p50/p90/max over repeated
   solves) and nodes/second for a fixed synthetic HA* instance;
+* **service scaling** — aggregate throughput of the sharded
+  multi-process tier (``docs/DEPLOYMENT.md``) on a 50%-duplicate request
+  stream at increasing shard counts, using wall-budgeted anytime solves
+  so the work is deadline-bound and the shard processes overlap; the
+  ratio of the largest point to the single-shard point is the recorded
+  ``speedup_max_shards``;
 * **provenance** — git revision, kernel backend (``native`` | ``numpy``),
   provider (``cc``/``numba``/``numpy``), and the ``COSCHED_NATIVE``
   opt-out state;
@@ -39,10 +45,13 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 __all__ = ["run_bench", "validate", "write_bench", "find_baseline",
-           "SCHEMA"]
+           "SCHEMA", "SCHEMA_V1"]
 
-#: Schema tag embedded in (and required of) every bench document.
-SCHEMA = "cosched-bench/1"
+#: Schema tag embedded in every new bench document.
+SCHEMA = "cosched-bench/2"
+#: Prior schema, still accepted by :func:`validate` (documents written
+#: before the sharded service tier carry no ``service`` section).
+SCHEMA_V1 = "cosched-bench/1"
 
 _REQUIRED_TOP = (
     "schema", "revision", "created_unix", "kernel_backend", "provider",
@@ -52,6 +61,9 @@ _REQUIRED_MICRO = ("numpy_ms", "active_ms", "speedup")
 _REQUIRED_SOLVE = ("spec", "n", "u", "repeats", "latency_ms",
                    "nodes_per_sec")
 _REQUIRED_LATENCY = ("p50", "p90", "max")
+_REQUIRED_SERVICE = ("stream", "cpu_count", "points", "speedup_max_shards")
+_REQUIRED_SERVICE_POINT = ("shards", "requests", "seconds", "rps",
+                           "solves", "cache_hits", "coalesced", "shed")
 
 
 def _git_revision() -> str:
@@ -175,6 +187,104 @@ def _solve_case(smoke: bool, repeats: Optional[int]) -> Dict[str, object]:
     }
 
 
+def _balanced_stream(distinct: int, max_shards: int) -> List[object]:
+    """``distinct`` problems chosen so they spread evenly at every shard
+    count in the sweep.
+
+    Problems are drawn from fixed synthetic seeds and *selected by
+    fingerprint residue* so that exactly ``distinct / max_shards`` land on
+    each shard at ``max_shards`` (and, because the residues cover
+    ``0..max_shards-1`` uniformly, evenly at every divisor too).  This
+    keeps the scaling measurement about process parallelism rather than
+    routing luck on a tiny stream.
+    """
+    from ..service.codec import problem_fingerprint
+    from ..service.shard import shard_for
+    from ..workloads.synthetic import random_serial_instance
+
+    per_shard = distinct // max_shards
+    buckets: Dict[int, List[object]] = {i: [] for i in range(max_shards)}
+    seed = 0
+    while sum(len(b) for b in buckets.values()) < distinct:
+        problem = random_serial_instance(8, seed=seed)
+        seed += 1
+        idx = shard_for(problem_fingerprint(problem), max_shards)
+        if len(buckets[idx]) < per_shard:
+            buckets[idx].append(problem)
+        if seed > distinct * 64:  # pragma: no cover - defensive
+            raise RuntimeError("could not balance bench stream")
+    ordered: List[object] = []
+    for k in range(per_shard):
+        for i in range(max_shards):
+            ordered.append(buckets[i][k])
+    return ordered
+
+
+def _service_case(smoke: bool) -> Dict[str, object]:
+    """Aggregate throughput of the sharded tier vs shard count.
+
+    The stream is 50% duplicates: every distinct problem is requested
+    twice (the second wave hits the store or coalesces).  Solves are
+    wall-budgeted anytime anneal runs, so each is deadline-bound and a
+    multi-process tier overlaps them even on few cores — the quantity
+    under test is the tier's aggregate request throughput, not solver
+    speed.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..service import ShardedService
+
+    if smoke:
+        shard_counts, distinct, wall, clients = [1, 2], 4, 0.05, 4
+    else:
+        shard_counts, distinct, wall, clients = [1, 2, 4], 16, 0.12, 8
+    solver = "anneal?iterations=1000000000"
+    budget = {"wall_time": wall}
+    problems = _balanced_stream(distinct, max_shards=shard_counts[-1])
+    stream = problems + problems  # 50% duplicates
+
+    points: List[Dict[str, object]] = []
+    for shards in shard_counts:
+        with ShardedService(shards=shards, workers_per_shard=1,
+                            default_solver=solver) as svc:
+            def one(problem):
+                return svc.submit(problem, solver=solver, budget=budget,
+                                  wait=60.0)
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                docs = list(pool.map(one, stream))
+            seconds = time.perf_counter() - t0
+            agg = svc.metrics()["aggregate_requests"]
+        unresolved = sum(1 for d in docs if d["state"] != "done")
+        points.append({
+            "shards": shards,
+            "requests": len(stream),
+            "unresolved": unresolved,
+            "seconds": seconds,
+            "rps": (len(stream) / seconds) if seconds > 0 else 0.0,
+            "solves": int(agg.get("solves", 0)),
+            "cache_hits": int(agg.get("cache_hits", 0)),
+            "coalesced": int(agg.get("coalesced", 0)),
+            "shed": int(agg.get("shed", 0)),
+        })
+    base_rps = points[0]["rps"]
+    return {
+        "stream": {
+            "distinct": distinct,
+            "requests": len(stream),
+            "duplicate_fraction": 0.5,
+            "solver": solver,
+            "wall_budget_s": wall,
+            "clients": clients,
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "points": points,
+        "speedup_max_shards": (
+            points[-1]["rps"] / base_rps if base_rps > 0 else math.inf
+        ),
+    }
+
+
 def find_baseline(results_dir: str,
                   current_revision: str) -> Optional[Dict[str, object]]:
     """The newest valid ``BENCH_*.json`` for a *different* revision.
@@ -231,6 +341,7 @@ def run_bench(
         "smoke": bool(smoke),
         "micro": _micro_cases(smoke),
         "solve": _solve_case(smoke, repeats),
+        "service": _service_case(smoke),
     }
     baseline = None
     if results_dir:
@@ -258,8 +369,11 @@ def validate(doc: object) -> None:
     for key in _REQUIRED_TOP:
         if key not in doc:
             raise ValueError(f"missing key: {key}")
-    if doc["schema"] != SCHEMA:
-        raise ValueError(f"schema must be {SCHEMA!r}, got {doc['schema']!r}")
+    if doc["schema"] not in (SCHEMA, SCHEMA_V1):
+        raise ValueError(
+            f"schema must be {SCHEMA!r} or {SCHEMA_V1!r}, "
+            f"got {doc['schema']!r}"
+        )
     if doc["kernel_backend"] not in ("native", "numpy"):
         raise ValueError("kernel_backend must be 'native' or 'numpy'")
     micro = doc["micro"]
@@ -283,6 +397,26 @@ def validate(doc: object) -> None:
         for key in ("revision", "speedup_vs_baseline"):
             if key not in baseline:
                 raise ValueError(f"missing key: baseline.{key}")
+    if doc["schema"] == SCHEMA_V1:
+        return  # v1 documents predate the service section
+    service = doc.get("service")
+    if not isinstance(service, dict):
+        raise ValueError("missing key: service")
+    for key in _REQUIRED_SERVICE:
+        if key not in service:
+            raise ValueError(f"missing key: service.{key}")
+    points = service["points"]
+    if not isinstance(points, list) or not points:
+        raise ValueError("service.points must be a non-empty list")
+    for i, point in enumerate(points):
+        for key in _REQUIRED_SERVICE_POINT:
+            if key not in point:
+                raise ValueError(f"missing key: service.points[{i}].{key}")
+            if not isinstance(point[key], (int, float)):
+                raise ValueError(
+                    f"service.points[{i}].{key} must be a number")
+    if not isinstance(service["speedup_max_shards"], (int, float)):
+        raise ValueError("service.speedup_max_shards must be a number")
 
 
 def write_bench(doc: Dict[str, object], path: str) -> None:

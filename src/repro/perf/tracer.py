@@ -42,6 +42,11 @@ svc_coalesce   a request attaches to an in-flight solve (same fingerprint)
 svc_cache_hit  the solution store answers a request without solving
 svc_warm_start a cached incumbent seeds the solver for a request
 svc_reject     admission control refuses a request (queue full / budget)
+svc_shed       a request degrades to the cheap shed-policy chain
+svc_drain      a service or dispatcher begins its graceful drain
+svc_shard_route  the dispatcher routes a fingerprint to a shard
+svc_shard_spawn  a shard worker process comes up (port, pid)
+svc_shard_exit   a shard worker exits (graceful or not)
 =============  ===============================================================
 
 The ``svc_*`` events come from :mod:`repro.service` (the serving layer),
@@ -74,6 +79,11 @@ EVENT_TYPES = (
     "svc_cache_hit",
     "svc_warm_start",
     "svc_reject",
+    "svc_shed",
+    "svc_drain",
+    "svc_shard_route",
+    "svc_shard_spawn",
+    "svc_shard_exit",
 )
 
 

@@ -39,9 +39,12 @@ from .registry import (
     solver_names,
 )
 from .session import SolveReport, run_solve
+from .shedding import DEFAULT_SHED_POLICY, ShedPolicy, resolve_shed_policy
 
 __all__ = [
+    "DEFAULT_SHED_POLICY",
     "REGISTRY",
+    "ShedPolicy",
     "SolverInfo",
     "SolverSpec",
     "SpecError",
@@ -51,6 +54,7 @@ __all__ = [
     "get_info",
     "parse_spec",
     "register",
+    "resolve_shed_policy",
     "run_solve",
     "solver_names",
 ]

@@ -13,21 +13,31 @@ each usable on its own:
   invariant to process/job relabeling (semantically identical requests
   hash identically);
 * :mod:`repro.service.store` — :class:`SolutionStore`, a fingerprint-keyed
-  best-known-schedule memo (in-memory LRU, optional JSONL persistence)
-  whose entries either answer a request outright or *warm-start* the next
-  solver run;
+  best-known-schedule memo (in-memory LRU) over a pluggable
+  :mod:`repro.service.backends` :class:`StoreBackend` (memory, or a
+  crash-tolerant append-log + snapshot file) whose entries either answer
+  a request outright or *warm-start* the next solver run;
 * :mod:`repro.service.queue` — :class:`SolveService`, a threaded worker
   pool with admission control (per-request / global budget caps, bounded
-  queue), priority lanes and request coalescing (concurrent requests with
-  one fingerprint share one solve);
+  queue), priority lanes, request coalescing (concurrent requests with
+  one fingerprint share one solve), graceful ``drain()`` and optional
+  load-shedding to a cheap heuristic when the queue saturates;
 * :mod:`repro.service.server` — a stdlib-only ``http.server`` JSON API
   (``POST /solve``, ``GET /status/<id>``, ``GET /metrics``) over a
   :class:`SolveService`, with :mod:`repro.service.client` as the matching
-  ``urllib`` client.
+  ``urllib`` client;
+* :mod:`repro.service.shard` / :mod:`repro.service.dispatcher` — the
+  multi-process tier: ``N`` shard worker processes (each a full service
+  stack) behind a :class:`ShardedService` frontend that routes by
+  ``fingerprint % N``, sheds around dead or saturated shards, respawns
+  crashed workers from the shared append log, and drains the whole tier
+  on SIGTERM.  :func:`start_dispatcher_server` serves the same wire API
+  plus ``GET /health``.
 
-CLI: ``cosched serve`` runs the HTTP server, ``cosched submit`` talks to
-it, and ``cosched solve --problem-file/--save-problem`` round-trips
-problems through the codec.  See ``docs/SERVICE.md``.
+CLI: ``cosched serve`` runs the single-process server, ``cosched serve
+--shards N`` the sharded tier, ``cosched submit`` talks to either, and
+``cosched solve --problem-file/--save-problem`` round-trips problems
+through the codec.  See ``docs/SERVICE.md`` and ``docs/DEPLOYMENT.md``.
 """
 
 from .codec import (
@@ -44,10 +54,17 @@ from .codec import (
     schedule_to_canonical,
     schedule_to_dict,
 )
+from .backends import AppendLogBackend, MemoryBackend, StoreBackend
 from .store import SolutionStore, StoreEntry
 from .queue import RequestRejected, ServiceTicket, SolveService
 from .server import CoschedHTTPServer, start_http_server
 from .client import ServiceClient, ServiceError
+from .shard import ShardConfig, ShardHandle, shard_for
+from .dispatcher import (
+    DispatcherHTTPServer,
+    ShardedService,
+    start_dispatcher_server,
+)
 
 __all__ = [
     "CodecError",
@@ -62,6 +79,9 @@ __all__ = [
     "schedule_from_dict",
     "schedule_to_canonical",
     "schedule_to_dict",
+    "StoreBackend",
+    "MemoryBackend",
+    "AppendLogBackend",
     "SolutionStore",
     "StoreEntry",
     "RequestRejected",
@@ -71,4 +91,10 @@ __all__ = [
     "start_http_server",
     "ServiceClient",
     "ServiceError",
+    "shard_for",
+    "ShardConfig",
+    "ShardHandle",
+    "ShardedService",
+    "DispatcherHTTPServer",
+    "start_dispatcher_server",
 ]

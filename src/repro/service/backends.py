@@ -1,0 +1,210 @@
+"""Persistence backends for the solution store.
+
+:class:`~repro.service.store.SolutionStore` keeps the in-memory LRU and
+the monotone merge; *where accepted updates go and how they come back* is
+a :class:`StoreBackend`.  Three implementations:
+
+* :class:`MemoryBackend` — nothing persists (the default);
+* :class:`AppendLogBackend` — the production backend: a JSONL **append
+  log** plus an optional **snapshot** file.  Every accepted update is one
+  ``O_APPEND`` line write (atomic per line on POSIX, so *several shard
+  processes can share one log file*); :meth:`~AppendLogBackend.replay`
+  reads the snapshot first, then the log, tolerating a truncated final
+  line (the signature of a crash mid-append); :meth:`~AppendLogBackend.compact`
+  folds the log into a fresh snapshot (written to a temp file and
+  atomically renamed) and truncates the log.  Compaction must only run
+  while the tier is quiescent — the drain/restart runbook in
+  ``docs/DEPLOYMENT.md`` is the operational contract;
+* the legacy single-file JSONL mode of ``SolutionStore(path=...)`` is now
+  an ``AppendLogBackend`` whose log *is* that path (snapshot at
+  ``<path>.snap``), so existing stores replay unchanged.
+
+Because the sharded tier routes each fingerprint to exactly one shard
+(``shard = fingerprint % N``), shards sharing a log never race on the
+same key: each shard replays the whole log at startup but only ever
+appends entries for its own fingerprints.  The monotone merge in the
+store makes replay idempotent and order-insensitive across shards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Iterable, Iterator, List, Optional
+
+from .store import StoreEntry
+
+__all__ = ["StoreBackend", "MemoryBackend", "AppendLogBackend"]
+
+
+class StoreBackend:
+    """Interface between :class:`SolutionStore` and durable storage.
+
+    ``replay()`` yields the entries to seed the store with (best-effort:
+    corrupt tails are skipped, not fatal); ``append(entry)`` records one
+    accepted update; ``compact(entries)`` rewrites durable state to
+    exactly ``entries`` (the store's current contents); ``close()``
+    releases file handles.  Implementations must be safe to call from
+    several threads of one process; cross-process safety is documented
+    per backend.
+    """
+
+    #: Human-readable backend kind, reported by ``SolutionStore.stats()``.
+    kind = "abstract"
+
+    def replay(self) -> Iterator[StoreEntry]:
+        raise NotImplementedError
+
+    def append(self, entry: StoreEntry) -> None:
+        raise NotImplementedError
+
+    def compact(self, entries: Iterable[StoreEntry]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def describe(self) -> str:
+        return self.kind
+
+
+class MemoryBackend(StoreBackend):
+    """No persistence: replay is empty, appends are dropped."""
+
+    kind = "memory"
+
+    def replay(self) -> Iterator[StoreEntry]:
+        return iter(())
+
+    def append(self, entry: StoreEntry) -> None:
+        pass
+
+    def compact(self, entries: Iterable[StoreEntry]) -> None:
+        pass
+
+
+def _iter_jsonl_entries(path: str, strict_tail: bool) -> Iterator[StoreEntry]:
+    """Yield entries from a JSONL file, tolerating a truncated last line.
+
+    A malformed line that is *not* the last one means real corruption and
+    raises ``ValueError`` (operators should restore from snapshot — see
+    the failure-modes table in ``docs/DEPLOYMENT.md``); a malformed final
+    line is the expected residue of a crash mid-append and is skipped.
+    """
+    if not os.path.exists(path):
+        return
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    for i, line in enumerate(lines):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            doc = json.loads(text)
+            entry = StoreEntry.from_dict(doc)
+        except (ValueError, KeyError, TypeError) as exc:
+            if i == len(lines) - 1 and not strict_tail:
+                return  # crash-truncated tail: recover everything before it
+            raise ValueError(
+                f"{path}:{i + 1}: corrupt store record: {text[:80]!r}"
+            ) from exc
+        yield entry
+
+
+class AppendLogBackend(StoreBackend):
+    """Append-log + snapshot persistence, shareable across processes.
+
+    Parameters
+    ----------
+    path:
+        The append-log file.  Created on first append; every accepted
+        update is one JSONL line written through an ``O_APPEND`` file
+        descriptor, so concurrent appends from multiple shard processes
+        interleave whole lines.
+    snapshot_path:
+        Where :meth:`compact` writes the folded state (default
+        ``<path>.snap``).  Replay order is snapshot first, then log.
+    """
+
+    kind = "append-log"
+
+    def __init__(self, path: str, snapshot_path: Optional[str] = None):
+        self.path = path
+        self.snapshot_path = (
+            snapshot_path if snapshot_path is not None else path + ".snap"
+        )
+        self._fd: Optional[int] = None
+        self._lock = threading.Lock()
+
+    def describe(self) -> str:
+        return f"{self.kind}:{self.path}"
+
+    # ------------------------------------------------------------------ #
+
+    def replay(self) -> Iterator[StoreEntry]:
+        # Snapshot lines were written by compact() in one shot, so any
+        # malformed line there is real corruption; the log may carry a
+        # crash-truncated tail.
+        yield from _iter_jsonl_entries(self.snapshot_path, strict_tail=True)
+        yield from _iter_jsonl_entries(self.path, strict_tail=False)
+
+    def append(self, entry: StoreEntry) -> None:
+        line = json.dumps(entry.to_dict(), separators=(",", ":")) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            if self._fd is None:
+                parent = os.path.dirname(os.path.abspath(self.path))
+                os.makedirs(parent, exist_ok=True)
+                self._fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+            os.write(self._fd, data)
+
+    def compact(self, entries: Iterable[StoreEntry]) -> None:
+        """Fold the current state into the snapshot and truncate the log.
+
+        The snapshot is written to a temp file and atomically renamed, so
+        a crash mid-compaction leaves the previous snapshot + log intact.
+        Run only while quiescent (no concurrent appenders): the log
+        truncation races with in-flight appends from other processes.
+        """
+        tmp = self.snapshot_path + ".tmp"
+        parent = os.path.dirname(os.path.abspath(self.snapshot_path))
+        os.makedirs(parent, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for entry in entries:
+                fh.write(json.dumps(entry.to_dict(),
+                                    separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.snapshot_path)
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+            with open(self.path, "w", encoding="utf-8"):
+                pass  # truncate: the snapshot now carries everything
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    # ------------------------------------------------------------------ #
+
+    def sizes(self) -> dict:
+        """Log/snapshot byte sizes (0 when absent) — operator telemetry."""
+        def _size(p: str) -> int:
+            try:
+                return os.path.getsize(p)
+            except OSError:
+                return 0
+        return {"log_bytes": _size(self.path),
+                "snapshot_bytes": _size(self.snapshot_path)}
+
+
+def entries_in_file(path: str) -> List[StoreEntry]:
+    """Eagerly read one JSONL store file (tests, tooling)."""
+    return list(_iter_jsonl_entries(path, strict_tail=False))

@@ -21,6 +21,14 @@ long-lived request pipeline:
    result back into the store, and resolves the request plus every
    coalesced follower.
 
+Two service-tier behaviors ride on the same pipeline: with a
+``shed_policy`` armed, a submission that would be rejected ``queue_full``
+is instead **shed** — answered synchronously by a cheap registry
+heuristic, marked ``shed=True`` (``svc_shed``) — and :meth:`SolveService.drain`
+implements the graceful-shutdown contract shared with the sharded tier
+(``svc_drain``): stop admitting (reason ``"draining"``), finish every
+admitted ticket, then :meth:`~SolveService.stop`.
+
 Lower ``priority`` numbers are served first (0 = interactive, larger =
 batch).  All bookkeeping is lock-protected; tickets are resolved through
 a per-ticket :class:`threading.Event`, so callers ``wait()`` without
@@ -32,13 +40,20 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from typing import Callable, Dict, List, Optional
 
 from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
 from ..perf import kernels as _kernels
 from ..perf.counters import PerfCounters
-from ..runtime import SpecError, parse_spec, run_solve, solver_names
+from ..runtime import (
+    SpecError,
+    parse_spec,
+    resolve_shed_policy,
+    run_solve,
+    solver_names,
+)
 from ..solvers import Budget
 from .codec import (
     canonical_pid_map,
@@ -58,11 +73,12 @@ class RequestRejected(RuntimeError):
     """Admission control refused the request.
 
     ``reason`` is machine-readable (``"queue_full"`` /
-    ``"request_budget"`` / ``"global_budget"`` / ``"unknown_solver"`` /
-    ``"bad_solver_spec"`` — the last two forwarded verbatim from the
-    :mod:`repro.runtime` registry's spec validation); ``detail`` explains
-    it for humans.  :meth:`to_dict` is the structured error body the HTTP
-    layer returns with status 429/400.
+    ``"request_budget"`` / ``"global_budget"`` / ``"draining"`` /
+    ``"unknown_solver"`` / ``"bad_solver_spec"`` — the last two forwarded
+    verbatim from the :mod:`repro.runtime` registry's spec validation);
+    ``detail`` explains it for humans.  :meth:`to_dict` is the structured
+    error body the HTTP layer returns with status 429/400 (503 with a
+    ``Retry-After`` header for ``"draining"``).
     """
 
     def __init__(self, reason: str, detail: str):
@@ -81,7 +97,9 @@ class ServiceTicket:
     ``state`` moves ``queued → running → done|failed`` (cache hits and
     coalesced followers jump straight to their terminal state when the
     answer lands).  ``disposition`` records how the answer was produced:
-    ``"solved"``, ``"cache_hit"`` or ``"coalesced"``.
+    ``"solved"``, ``"cache_hit"``, ``"coalesced"`` or ``"shed"`` (the
+    saturated-queue degraded path; ``shed`` is then ``True`` and
+    ``solved_by`` names the cheap solver that actually ran).
 
     ``pid_map`` is the submitter problem's canonical pid map
     (:func:`~repro.service.codec.canonical_pid_map`): store entries hold
@@ -106,6 +124,7 @@ class ServiceTicket:
         self.solved_by: Optional[str] = None
         self.optimal = False
         self.warm_started = False
+        self.shed = False
         self.time_seconds: Optional[float] = None
         self.error: Optional[str] = None
         self._event = threading.Event()
@@ -166,6 +185,7 @@ class ServiceTicket:
                 "solved_by": self.solved_by,
                 "optimal": self.optimal,
                 "warm_started": self.warm_started,
+                "shed": self.shed,
                 "time_seconds": self.time_seconds,
             })
         if self.error is not None:
@@ -206,6 +226,19 @@ class SolveService:
         runtime registry for this service instance (tests inject failing
         solvers this way).  When ``None`` (the default), solver specs
         resolve through :func:`repro.runtime.run_solve`.
+    shed_policy:
+        Optional comma-separated chain of cheap registry solver specs
+        (validated by :func:`repro.runtime.resolve_shed_policy` — exact
+        solvers are refused).  When set, a submission that would be
+        rejected with ``queue_full`` is instead **shed**: the first policy
+        solver runs synchronously in the submitting thread, the ticket
+        resolves with disposition ``"shed"`` / ``shed=True``, and the
+        result still feeds the store's monotone merge.  ``None`` (the
+        default) keeps the hard ``queue_full`` rejection.
+    shed_budget:
+        Optional :class:`Budget` cap applied to every shed solve
+        (defaults to a 1-second wall cap so the degraded path stays
+        bounded even if a policy member is slower than expected).
     """
 
     def __init__(
@@ -218,6 +251,8 @@ class SolveService:
         global_budget: Optional[Budget] = None,
         tracer=None,
         solver_factories: Optional[Dict[str, Callable[[], object]]] = None,
+        shed_policy: Optional[str] = None,
+        shed_budget: Optional[Budget] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -239,6 +274,14 @@ class SolveService:
             raise ValueError(
                 f"unknown default solver {default_solver!r}: {exc.detail}"
             ) from exc
+        # Shed policy resolves (and validates) at construction: a bad
+        # policy is a configuration error, not a per-request surprise.
+        self._shed_policy = (
+            resolve_shed_policy(shed_policy) if shed_policy else None
+        )
+        self.shed_budget = (
+            shed_budget if shed_budget is not None else Budget(wall_time=1.0)
+        )
 
         self.counters = PerfCounters()  # merged from every solved problem
         self._lock = threading.Lock()
@@ -252,10 +295,12 @@ class SolveService:
         self._stats = {
             "submitted": 0, "solves": 0, "cache_hits": 0, "coalesced": 0,
             "rejected": 0, "warm_starts": 0, "errors": 0, "completed": 0,
+            "shed": 0,
         }
         self._lane_depth: Dict[int, int] = {}
         self._threads: List[threading.Thread] = []
         self._shutdown = False
+        self._draining = False
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -267,6 +312,7 @@ class SolveService:
             if self._threads:
                 return self
             self._shutdown = False
+            self._draining = False
             for i in range(self.workers):
                 t = threading.Thread(target=self._worker_loop,
                                      name=f"cosched-worker-{i}", daemon=True)
@@ -275,9 +321,43 @@ class SolveService:
             t.start()
         return self
 
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown, phase one: **stop admitting, finish everything
+        accepted**.
+
+        This is the one drain contract shared by the single-process
+        service, the shard workers (SIGTERM triggers it) and the
+        dispatcher (which drains every shard): from the moment ``drain``
+        is called, new submissions are rejected with reason
+        ``"draining"`` (HTTP 503 + ``Retry-After``), while every ticket
+        already admitted — queued, running, and their coalesced
+        followers — resolves normally.
+
+        Blocks until the queue and the in-flight table are empty or
+        ``timeout`` elapses; returns ``True`` when fully drained.  Call
+        :meth:`stop` afterwards to join the workers (on a timed-out
+        drain, ``stop`` fails the stragglers rather than hang clients).
+        """
+        deadline = time.monotonic() + timeout
+        with self._work:
+            already = self._draining
+            self._draining = True
+        if not already and self.tracer is not None:
+            self._emit("svc_drain", timeout=timeout)
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._heap and not self._inflight:
+                    return True
+            time.sleep(0.01)
+        with self._lock:
+            return not self._heap and not self._inflight
+
     def stop(self, timeout: float = 10.0) -> None:
-        """Drain nothing, stop soon: workers finish their current solve,
-        remaining queued tickets fail with ``"service stopped"``."""
+        """Hard stop: workers finish their *current* solve, remaining
+        queued tickets (and their coalesced followers) fail with
+        ``"service stopped"``.  For a graceful shutdown call
+        :meth:`drain` first — after a clean drain there is nothing left
+        to fail and ``stop`` only joins the workers."""
         with self._work:
             self._shutdown = True
             victims = []
@@ -424,8 +504,22 @@ class SolveService:
         # solve completing between the store lookup and the inflight check
         # cannot slip a redundant re-solve past the memo.  (Trace emits go
         # through self.tracer directly — _emit would re-take the lock.)
+        shed_ticket: Optional[ServiceTicket] = None
         with self._work:
             self._stats["submitted"] += 1
+            if self._draining:
+                # The drain contract: nothing new is admitted (not even
+                # cache hits), everything already accepted resolves.
+                self._stats["rejected"] += 1
+                exc = RequestRejected(
+                    "draining",
+                    "service is draining; retry against a restarted "
+                    "instance (Retry-After applies)",
+                )
+                if self.tracer is not None:
+                    self.tracer.emit("svc_reject", reason=exc.reason,
+                                     fingerprint=fp)
+                raise exc
             entry = self.store.lookup(fp)
             if entry is not None and (entry.optimal or not refine):
                 ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
@@ -456,29 +550,71 @@ class SolveService:
             try:
                 self._check_admission(budget)
             except RequestRejected as exc:
-                self._stats["rejected"] += 1
+                if (exc.reason == "queue_full"
+                        and self._shed_policy is not None):
+                    # Load-shedding: degrade, don't reject.  The solve
+                    # itself runs outside the lock (below).
+                    shed_ticket = ServiceTicket(
+                        f"req-{next(self._ids)}", fp, solver_name,
+                        priority, pid_map=pid_map)
+                    self._tickets[shed_ticket.ticket_id] = shed_ticket
+                    self._stats["shed"] += 1
+                else:
+                    self._stats["rejected"] += 1
+                    if self.tracer is not None:
+                        self.tracer.emit("svc_reject", reason=exc.reason,
+                                         fingerprint=fp)
+                    raise
+            if shed_ticket is None:
+                ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
+                                       solver_name, priority,
+                                       pid_map=pid_map)
+                self._tickets[ticket.ticket_id] = ticket
+                self._inflight[fp] = {"ticket": ticket, "followers": []}
+                heapq.heappush(
+                    self._heap,
+                    (priority, next(self._seq), ticket, problem, budget),
+                )
+                self._lane_depth[priority] = (
+                    self._lane_depth.get(priority, 0) + 1
+                )
                 if self.tracer is not None:
-                    self.tracer.emit("svc_reject", reason=exc.reason,
-                                     fingerprint=fp)
-                raise
-            ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
-                                   solver_name, priority, pid_map=pid_map)
-            self._tickets[ticket.ticket_id] = ticket
-            self._inflight[fp] = {"ticket": ticket, "followers": []}
-            heapq.heappush(
-                self._heap,
-                (priority, next(self._seq), ticket, problem, budget),
-            )
-            self._lane_depth[priority] = (
-                self._lane_depth.get(priority, 0) + 1
-            )
-            if self.tracer is not None:
-                self.tracer.emit("svc_enqueue", id=ticket.ticket_id,
-                                 fingerprint=fp, solver=solver_name,
-                                 priority=priority,
-                                 depth=len(self._heap))
-            self._work.notify()
-            return ticket
+                    self.tracer.emit("svc_enqueue", id=ticket.ticket_id,
+                                     fingerprint=fp, solver=solver_name,
+                                     priority=priority,
+                                     depth=len(self._heap))
+                self._work.notify()
+                return ticket
+        # Shed path: run the cheap policy solver synchronously, outside
+        # the lock (it is fast, but must not serialize the queue).
+        self._run_shed(shed_ticket, problem)
+        return shed_ticket
+
+    def _run_shed(self, ticket: ServiceTicket,
+                  problem: CoSchedulingProblem) -> None:
+        """Resolve ``ticket`` via the shed policy; records into the store."""
+        fp = ticket.fingerprint
+        try:
+            report, spec_used = self._shed_policy.solve(
+                problem, budget=self.shed_budget)
+        except Exception as exc:  # noqa: BLE001 — shedding must not raise
+            with self._lock:
+                self._stats["errors"] += 1
+                self._stats["completed"] += 1
+            ticket._fail(f"shed solve failed: {exc}")
+            return
+        canon_schedule = schedule_to_canonical(problem, report.schedule)
+        self.store.record(fp, canon_schedule, report.objective,
+                          report.solver, report.optimal)
+        entry = StoreEntry(fp, canon_schedule, report.objective,
+                           report.solver, report.optimal)
+        ticket.shed = True
+        ticket._resolve(entry, "shed", time_seconds=report.solve_seconds)
+        with self._lock:
+            self._stats["completed"] += 1
+        self._emit("svc_shed", id=ticket.ticket_id, fingerprint=fp,
+                   policy=self._shed_policy.describe(), used=spec_used,
+                   objective=report.objective)
 
     def ticket(self, ticket_id: str) -> Optional[ServiceTicket]:
         """Look up a ticket by id (``None`` if unknown)."""
@@ -579,6 +715,7 @@ class SolveService:
             lanes = {str(k): v for k, v in sorted(self._lane_depth.items())}
             depth = len(self._heap)
             inflight = len(self._inflight)
+            draining = self._draining
             committed = {
                 f: v for f, v in self._committed.items() if v
             }
@@ -598,6 +735,11 @@ class SolveService:
                 "workers": self.workers,
                 "max_queue": self.max_queue,
                 "committed_budget": committed,
+                "draining": draining,
+                "shed_policy": (
+                    self._shed_policy.describe()
+                    if self._shed_policy is not None else None
+                ),
             },
             "solvers": list(self.available_solvers()),
             "store": self.store.stats(),

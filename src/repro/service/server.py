@@ -10,8 +10,10 @@ Three endpoints, all JSON:
     is optional.  Replies 200 with the ticket status when the request is
     already resolved (cache hit, or ``wait`` long enough), 202 with the
     ticket id otherwise, 400 for malformed documents / unknown solvers,
-    and 429 with the structured :class:`RequestRejected` body when
-    admission control refuses.
+    429 with the structured :class:`RequestRejected` body when admission
+    control refuses, and 503 with a ``Retry-After`` header while the
+    service is draining (see :meth:`SolveService.drain
+    <repro.service.queue.SolveService.drain>`).
 
 ``GET /status/<id>``
     The ticket's :meth:`~repro.service.queue.ServiceTicket.to_dict`
@@ -78,11 +80,14 @@ class _Handler(BaseHTTPRequestHandler):
                 break
             remaining -= len(chunk)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict,
+               retry_after: Optional[int] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
 
@@ -132,6 +137,12 @@ class _Handler(BaseHTTPRequestHandler):
             ticket = service.submit(problem, solver=solver, budget=budget,
                                     priority=priority, refine=refine)
         except RequestRejected as exc:
+            if exc.reason == "draining":
+                # Graceful drain: tell clients when to come back rather
+                # than making them distinguish this from admission limits.
+                self._reply(503, exc.to_dict(),
+                            retry_after=self.server.retry_after)
+                return
             bad_spec = ("unknown_solver", "bad_spec", "bad_param")
             status = 400 if exc.reason in bad_spec else 429
             self._reply(status, exc.to_dict())
@@ -142,15 +153,21 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class CoschedHTTPServer(ThreadingHTTPServer):
-    """A :class:`ThreadingHTTPServer` bound to one :class:`SolveService`."""
+    """A :class:`ThreadingHTTPServer` bound to one :class:`SolveService`.
+
+    ``retry_after`` is the ``Retry-After`` value (seconds) sent with 503
+    responses while the service drains — how long a well-behaved client
+    should wait before retrying against the restarted instance.
+    """
 
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int], service: SolveService,
-                 verbose: bool = False):
+                 verbose: bool = False, retry_after: int = 2):
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self.retry_after = retry_after
 
     @property
     def url(self) -> str:

@@ -1,0 +1,200 @@
+"""Shard worker processes: one solve service per slice of fingerprint space.
+
+The sharded tier (``docs/DEPLOYMENT.md``) is a frontend
+:class:`~repro.service.dispatcher.ShardedService` in front of ``N`` shard
+**processes**.  Each shard is a full, unmodified service stack —
+:class:`~repro.service.queue.SolveService` + the stdlib HTTP server — in
+its own interpreter, so solver work scales across cores instead of
+contending on one GIL.  Routing is by canonical content fingerprint:
+
+    ``shard = int(fingerprint, 16) % num_shards``
+
+(:func:`shard_for`).  Because the fingerprint is relabeling-invariant
+(PR 4) and solver specs are validated once at the dispatcher against the
+same registry the shards use (PR 5), a request crosses the process
+boundary without re-canonicalization or re-validation — and because a
+fingerprint maps to exactly one shard, all coalescing and caching for a
+problem stays inside that shard.
+
+Lifecycle: :class:`ShardHandle` spawns the child (``_shard_main``), which
+binds an ephemeral port, reports it back over a pipe, then waits.
+``SIGTERM`` triggers the shared drain contract — the shard's service
+stops admitting (503 + ``Retry-After``), finishes every in-flight and
+queued solve, then exits cleanly.  ``SIGKILL`` (``ShardHandle.kill``) is
+the crash case the dispatcher's shed/respawn path covers.
+
+The default start method is ``fork`` where available (fast, shares the
+imported NumPy); set ``COSCHED_MP_START=spawn`` to force the portable
+method (see ``docs/DEPLOYMENT.md``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from .client import ServiceClient
+
+__all__ = ["ShardConfig", "ShardHandle", "shard_for", "mp_context"]
+
+
+def shard_for(fingerprint: str, num_shards: int) -> int:
+    """Deterministic shard index for a problem fingerprint.
+
+    ``fingerprint`` is the hex SHA-256 from
+    :func:`repro.service.codec.problem_fingerprint`; the mapping is a
+    plain modulus over its integer value, so it is stable across
+    processes, restarts and hosts — the same problem always lands on the
+    same shard, which is what keeps per-shard stores and coalescing
+    correct without any cross-shard coordination.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    return int(fingerprint, 16) % num_shards
+
+
+def mp_context():
+    """The multiprocessing context shards spawn under.
+
+    ``COSCHED_MP_START`` overrides (``fork`` / ``spawn`` /
+    ``forkserver``); the default prefers ``fork`` for startup speed.
+    """
+    method = os.environ.get("COSCHED_MP_START")
+    if not method:
+        method = ("fork" if "fork" in mp.get_all_start_methods()
+                  else "spawn")
+    return mp.get_context(method)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a shard worker needs to build its service stack.
+
+    Picklable (it crosses the process boundary under ``spawn``).
+    ``store_path`` is the *shared* append log — every shard replays the
+    whole log at startup and appends entries for its own fingerprints
+    (line-atomic ``O_APPEND`` writes; see
+    :class:`~repro.service.backends.AppendLogBackend`).
+    """
+
+    index: int
+    num_shards: int
+    host: str = "127.0.0.1"
+    workers: int = 1
+    max_queue: int = 64
+    default_solver: str = "fallback"
+    store_path: Optional[str] = None
+    store_capacity: int = 1024
+    shed_policy: Optional[str] = "pg"
+    drain_timeout: float = 30.0
+    #: Seconds the shard keeps serving /status after its drain completes,
+    #: so clients that submitted just before SIGTERM can read results.
+    exit_grace: float = 0.25
+    verbose: bool = False
+
+
+def _shard_main(config: ShardConfig, conn) -> None:
+    """Child-process entry point: serve until SIGTERM, then drain."""
+    from .queue import SolveService
+    from .server import start_http_server
+    from .store import SolutionStore
+
+    stop = threading.Event()
+    # SIGTERM is the drain signal; SIGINT belongs to the parent (a Ctrl-C
+    # in the terminal reaches the whole group — the dispatcher decides).
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    store = SolutionStore(capacity=config.store_capacity,
+                          path=config.store_path)
+    service = SolveService(
+        store=store,
+        workers=config.workers,
+        max_queue=config.max_queue,
+        default_solver=config.default_solver,
+        shed_policy=config.shed_policy,
+    )
+    server = start_http_server(service, host=config.host, port=0,
+                               verbose=config.verbose)
+    try:
+        conn.send({"port": server.server_address[1], "pid": os.getpid()})
+    finally:
+        conn.close()
+
+    stop.wait()
+    # The drain contract (queue.SolveService.drain): reject new work with
+    # 503 while finishing everything admitted, so no client hangs.
+    service.drain(timeout=config.drain_timeout)
+    if config.exit_grace > 0:
+        threading.Event().wait(config.exit_grace)
+    server.shutdown()
+    service.stop()
+    store.close()
+
+
+class ShardHandle:
+    """Parent-side handle for one shard worker process.
+
+    Spawns on construction and blocks until the child reports its port
+    (``spawn_timeout``).  ``client`` is a ready
+    :class:`~repro.service.client.ServiceClient` for the shard's HTTP
+    endpoint.
+    """
+
+    def __init__(self, config: ShardConfig, spawn_timeout: float = 60.0,
+                 request_timeout: float = 60.0):
+        self.config = config
+        ctx = mp_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_shard_main, args=(config, child_conn),
+            name=f"cosched-shard-{config.index}", daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        if not parent_conn.poll(spawn_timeout):
+            self.process.kill()
+            raise RuntimeError(
+                f"shard {config.index} did not report a port within "
+                f"{spawn_timeout}s"
+            )
+        info = parent_conn.recv()
+        parent_conn.close()
+        self.port: int = info["port"]
+        self.pid: int = info["pid"]
+        self.url = f"http://{config.host}:{self.port}"
+        self.client = ServiceClient(self.url, timeout=request_timeout)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def index(self) -> int:
+        return self.config.index
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def drain(self, timeout: float = 35.0) -> bool:
+        """SIGTERM the shard and wait for its graceful exit.
+
+        Returns ``True`` when the child exited within ``timeout``;
+        otherwise escalates to :meth:`kill` and returns ``False``.
+        """
+        if self.process.is_alive():
+            self.process.terminate()  # SIGTERM -> child drains
+            self.process.join(timeout)
+        if self.process.is_alive():
+            self.kill()
+            return False
+        return True
+
+    def kill(self, timeout: float = 5.0) -> None:
+        """SIGKILL — the crash path (used by tests and hard stops)."""
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout)

@@ -14,12 +14,18 @@ consumers translate an entry back into their own problem's labeling with
 :func:`repro.service.codec.schedule_from_canonical` before using it.  The
 :class:`~repro.service.queue.SolveService` does this per ticket.
 
-The store is an in-memory LRU bounded by ``capacity``; with a ``path`` it
-also appends one JSONL record per accepted update and replays the log on
-construction, so a restarted service keeps its memo.  ``record()`` is
-monotone: an update is accepted only if the fingerprint is new, the new
-objective is strictly better, or the new entry proves optimality — a worse
-re-solve can never clobber a better cached schedule.
+The store is an in-memory LRU bounded by ``capacity``.  Persistence is
+delegated to a :class:`~repro.service.backends.StoreBackend`: existing
+entries are replayed through the monotone merge on construction, and every
+accepted update is appended.  ``path=`` remains as the convenience spelling
+for an :class:`~repro.service.backends.AppendLogBackend` at that path, so a
+restarted service keeps its memo — including across the shard processes of
+the multi-process tier, which share one append log (each fingerprint
+belongs to exactly one shard, so shards never race on a key).
+
+``record()`` is monotone: an update is accepted only if the fingerprint is
+new, the new objective is strictly better, or the new entry proves
+optimality — a worse re-solve can never clobber a better cached schedule.
 
 All public methods take the store's lock, so one instance can back many
 worker threads.
@@ -27,8 +33,6 @@ worker threads.
 
 from __future__ import annotations
 
-import json
-import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -71,7 +75,7 @@ class StoreEntry:
 
 
 class SolutionStore:
-    """In-memory LRU memo of :class:`StoreEntry`, optionally JSONL-backed.
+    """In-memory LRU memo of :class:`StoreEntry` over a pluggable backend.
 
     Parameters
     ----------
@@ -79,43 +83,42 @@ class SolutionStore:
         Maximum resident entries; the least-recently-*used* entry is
         evicted first (a lookup refreshes recency).
     path:
-        Optional JSONL file.  Existing records are replayed through
-        :meth:`record` on construction (so the merge stays monotone even
-        across duplicate log lines); every accepted update appends a line.
+        Convenience: persist through an
+        :class:`~repro.service.backends.AppendLogBackend` rooted at this
+        JSONL file (replayed on construction; every accepted update
+        appends a line).  Mutually exclusive with ``backend``.
+    backend:
+        An explicit :class:`~repro.service.backends.StoreBackend`.  The
+        store owns it (``close()`` closes it).
     """
 
-    def __init__(self, capacity: int = 1024, path: Optional[str] = None):
+    def __init__(self, capacity: int = 1024, path: Optional[str] = None,
+                 backend=None):
+        from .backends import AppendLogBackend, MemoryBackend
+
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if path is not None and backend is not None:
+            raise ValueError("give path or backend, not both")
         self.capacity = capacity
         self.path = path
+        if backend is None:
+            backend = (AppendLogBackend(path) if path is not None
+                       else MemoryBackend())
+        self.backend = backend
         self._entries: "OrderedDict[str, StoreEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.updates = 0
-        if path and os.path.exists(path):
-            self._replay(path)
-
-    # ------------------------------------------------------------------ #
-
-    def _replay(self, path: str) -> None:
-        with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                entry = StoreEntry.from_dict(json.loads(line))
-                self._record_locked(entry, persist=False)
+        for entry in self.backend.replay():
+            # Replay runs through the monotone merge, so duplicate or
+            # out-of-order log lines (multi-process appenders, repeated
+            # restarts) converge to the same state.
+            self._record_locked(entry, persist=False)
         # Replay counts neither as traffic nor as updates.
         self.hits = self.misses = self.updates = 0
-
-    def _append(self, entry: StoreEntry) -> None:
-        if self.path is None:
-            return
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(entry.to_dict(), separators=(",", ":")) + "\n")
 
     # ------------------------------------------------------------------ #
 
@@ -169,8 +172,24 @@ class SolutionStore:
             self.evictions += 1
         self.updates += 1
         if persist:
-            self._append(entry)
+            self.backend.append(entry)
         return True
+
+    # ------------------------------------------------------------------ #
+
+    def compact(self) -> None:
+        """Fold the backend's durable state down to the live entries.
+
+        Only meaningful for log-structured backends; run while quiescent
+        (see the drain/restart runbook in ``docs/DEPLOYMENT.md``).
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        self.backend.compact(entries)
+
+    def close(self) -> None:
+        """Release the backend's file handles (appends re-open lazily)."""
+        self.backend.close()
 
     # ------------------------------------------------------------------ #
 
@@ -189,6 +208,7 @@ class SolutionStore:
             return {
                 "size": len(self._entries),
                 "capacity": self.capacity,
+                "backend": self.backend.describe(),
                 "hits": self.hits,
                 "misses": self.misses,
                 "hit_rate": (self.hits / total) if total else 0.0,

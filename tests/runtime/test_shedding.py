@@ -1,0 +1,76 @@
+"""Shed-policy resolution and the degraded solve chain."""
+
+import pytest
+
+from repro.core.objective import evaluate_schedule
+from repro.runtime import (
+    DEFAULT_SHED_POLICY,
+    ShedPolicy,
+    SpecError,
+    resolve_shed_policy,
+)
+from repro.solvers import Budget
+from repro.workloads.synthetic import random_serial_instance
+
+
+def test_default_policy_resolves():
+    policy = resolve_shed_policy(DEFAULT_SHED_POLICY)
+    assert isinstance(policy, ShedPolicy)
+    assert policy.describe() == "pg"
+
+
+def test_aliases_canonicalize():
+    assert resolve_shed_policy("greedy").describe() == "pg"
+    assert resolve_shed_policy("politeness,hillclimb").describe() == \
+        "pg,hill"
+
+
+def test_exact_solver_rejected():
+    with pytest.raises(SpecError) as err:
+        resolve_shed_policy("bb")
+    assert err.value.reason == "exact_solver"
+    # The offending name, not just a generic message.
+    assert "bb" in err.value.detail
+
+
+def test_exact_solver_rejected_anywhere_in_chain():
+    with pytest.raises(SpecError) as err:
+        resolve_shed_policy("pg,brute")
+    assert err.value.reason == "exact_solver"
+
+
+def test_unknown_solver_rejected():
+    with pytest.raises(SpecError) as err:
+        resolve_shed_policy("nonesuch")
+    assert err.value.reason == "unknown_solver"
+
+
+def test_empty_policy_falls_back_to_default():
+    # None / "" mean "shedding on, default chain" — only a non-empty
+    # string that names no solvers is a configuration error.
+    assert resolve_shed_policy(None).describe() == DEFAULT_SHED_POLICY
+    assert resolve_shed_policy("").describe() == DEFAULT_SHED_POLICY
+    with pytest.raises(SpecError) as err:
+        resolve_shed_policy(" , ")
+    assert err.value.reason == "bad_spec"
+
+
+def test_solve_returns_valid_schedule_and_honest_objective():
+    problem = random_serial_instance(8, seed=3)
+    policy = resolve_shed_policy("pg")
+    report, used = policy.solve(problem, budget=Budget(wall_time=5.0))
+    assert used == "pg"
+    assert report.schedule is not None
+    # The objective must match an independent evaluation — a shed answer
+    # is degraded in *quality*, never in honesty.
+    assert report.objective == pytest.approx(
+        evaluate_schedule(problem, report.schedule).objective)
+
+
+def test_chain_falls_through_to_next_solver():
+    problem = random_serial_instance(8, seed=4)
+
+    policy = ShedPolicy(specs=("hill", "pg"))
+    report, used = policy.solve(problem)
+    assert used in ("hill", "pg")
+    assert report.schedule is not None

@@ -317,3 +317,107 @@ def test_worker_failure_fails_ticket_and_followers():
         retry = svc2.submit(make_problem(90))
         assert retry.wait(30.0)
         assert retry.state == "done"
+
+
+# --------------------------------------------------------------------- #
+# drain: the graceful-shutdown contract
+# --------------------------------------------------------------------- #
+
+
+def test_drain_finishes_admitted_work_then_rejects():
+    svc = SolveService(workers=1, default_solver="pg")
+    # Admit before the workers run: both the primary and its coalesced
+    # follower are "admitted work" the drain must finish.
+    primary = svc.submit(make_problem(41))
+    follower = svc.submit(make_problem(41))
+    svc.start()
+    assert svc.drain(timeout=30.0) is True
+    assert primary.done and primary.state == "done"
+    assert follower.done and follower.state == "done"
+
+    with pytest.raises(RequestRejected) as err:
+        svc.submit(make_problem(42))
+    assert err.value.reason == "draining"
+    m = svc.metrics()
+    assert m["queue"]["draining"] is True
+    assert m["requests"]["rejected"] == 1
+    svc.stop()
+
+
+def test_drain_even_rejects_would_be_cache_hits():
+    # Draining means *no new admissions at all* — simpler to operate and
+    # to reason about than "reads still allowed": clients get one signal.
+    with SolveService(workers=1, default_solver="pg") as svc:
+        t = svc.submit(make_problem(43))
+        assert t.wait(30.0)
+        assert svc.drain(timeout=30.0) is True
+        with pytest.raises(RequestRejected) as err:
+            svc.submit(make_problem(43))
+        assert err.value.reason == "draining"
+
+
+def test_drain_emits_trace_event():
+    sink = io.StringIO()
+    tracer = Tracer(sink, flush_every=1)
+    with SolveService(workers=1, default_solver="pg",
+                      tracer=tracer) as svc:
+        svc.drain(timeout=5.0)
+        svc.drain(timeout=5.0)  # idempotent: one event, not two
+    events = [e for e in trace_to_list(io.StringIO(sink.getvalue()))
+              if e["ev"] == "svc_drain"]
+    assert len(events) == 1
+
+
+# --------------------------------------------------------------------- #
+# load shedding: degrade, don't reject
+# --------------------------------------------------------------------- #
+
+
+def test_queue_full_sheds_when_policy_armed():
+    svc = SolveService(workers=1, max_queue=1, default_solver="pg",
+                       shed_policy="pg")
+    # Workers not started: the first submit occupies the only queue slot,
+    # the second overflows and must shed instead of raising queue_full.
+    first = svc.submit(make_problem(50))
+    shed = svc.submit(make_problem(51))
+    assert shed.done
+    assert shed.disposition == "shed"
+    assert shed.shed is True
+    assert shed.to_dict()["shed"] is True
+    # The shed answer is a real, honestly-scored schedule.
+    problem = make_problem(51)
+    ev = evaluate_schedule(problem, shed.schedule)
+    assert shed.objective == pytest.approx(ev.objective)
+    # ... and it was recorded, so the next request is a cache hit.
+    svc.start()
+    assert first.wait(30.0)
+    hit = svc.submit(make_problem(51))
+    assert hit.disposition == "cache_hit"
+    m = svc.metrics()
+    assert m["requests"]["shed"] == 1
+    assert m["queue"]["shed_policy"] == "pg"
+    svc.stop()
+
+
+def test_queue_full_still_rejects_without_policy():
+    svc = SolveService(workers=1, max_queue=1, default_solver="pg")
+    svc.submit(make_problem(60))
+    with pytest.raises(RequestRejected) as err:
+        svc.submit(make_problem(61))
+    assert err.value.reason == "queue_full"
+    svc.stop()
+
+
+def test_shed_emits_trace_event():
+    sink = io.StringIO()
+    tracer = Tracer(sink, flush_every=1)
+    svc = SolveService(workers=1, max_queue=1, default_solver="pg",
+                       shed_policy="pg", tracer=tracer)
+    svc.submit(make_problem(70))
+    svc.submit(make_problem(71))
+    svc.stop()
+    events = [e for e in trace_to_list(io.StringIO(sink.getvalue()))
+              if e["ev"] == "svc_shed"]
+    assert len(events) == 1
+    assert events[0]["policy"] == "pg"
+    assert events[0]["used"] == "pg"

@@ -193,3 +193,31 @@ def test_wait_parameter_blocks_until_done(service_and_url):
     assert status["state"] == "done"
     assert status["disposition"] == "solved"
     assert status["objective"] is not None
+
+
+def test_draining_service_replies_503_with_retry_after():
+    service = SolveService(workers=1, default_solver="pg")
+    service.start()
+    server = CoschedHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        assert service.drain(timeout=10.0) is True
+        from repro.service.codec import problem_to_dict
+
+        body = json.dumps(
+            {"problem": problem_to_dict(random_serial_instance(6, seed=7))}
+        ).encode()
+        req = urllib.request.Request(
+            server.url + "/solve", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 503
+        assert int(err.value.headers["Retry-After"]) >= 1
+        payload = json.loads(err.value.read())
+        assert payload["reason"] == "draining"
+    finally:
+        server.shutdown()
+        service.stop()

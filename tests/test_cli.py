@@ -280,3 +280,52 @@ class TestBenchCommand:
                 assert missing in str(exc)
             else:
                 raise AssertionError(f"missing {missing} not caught")
+
+
+class TestBenchServiceSection:
+    def test_smoke_document_carries_service_scaling(self):
+        from repro.perf import bench
+
+        doc = bench.run_bench(smoke=True, repeats=1)
+        bench.validate(doc)
+        service = doc["service"]
+        assert service["stream"]["duplicate_fraction"] == 0.5
+        shards = [p["shards"] for p in service["points"]]
+        assert shards == sorted(shards) and shards[0] == 1
+        for point in service["points"]:
+            assert point["requests"] == service["stream"]["requests"]
+            assert point["rps"] > 0
+            assert point["unresolved"] == 0
+        assert service["speedup_max_shards"] > 0
+
+    def test_validate_accepts_v1_documents_without_service(self):
+        """Committed BENCH docs that predate the sharded tier stay valid
+        (find_baseline must keep loading them)."""
+        import json
+        from pathlib import Path
+
+        from repro.perf import bench
+
+        results = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+        v1_docs = []
+        for path in results.glob("BENCH_*.json"):
+            doc = json.loads(path.read_text())
+            if doc["schema"] == bench.SCHEMA_V1:
+                v1_docs.append((path.name, doc))
+        for name, doc in v1_docs:
+            bench.validate(doc)  # must not raise
+
+    def test_validate_requires_service_for_v2(self):
+        from repro.perf import bench
+
+        doc = bench.run_bench(smoke=True, repeats=1)
+        bad = dict(doc)
+        del bad["service"]
+        with pytest.raises(ValueError, match="service"):
+            bench.validate(bad)
+        import json
+
+        bad_point = json.loads(json.dumps(doc))
+        del bad_point["service"]["points"][0]["rps"]
+        with pytest.raises(ValueError, match="rps"):
+            bench.validate(bad_point)

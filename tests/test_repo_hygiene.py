@@ -177,6 +177,47 @@ class TestDocsLint:
         assert "docs-lint" in ci
         assert "test_repo_hygiene" in ci
 
+    def test_cross_doc_markdown_links_resolve(self):
+        """Every relative markdown link in README/docs points at a file
+        that exists, and every ``#anchor`` names a real heading there."""
+        link = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+        def slugify(heading: str) -> str:
+            # GitHub's anchor algorithm, near enough: lowercase, drop
+            # everything but word chars / spaces / hyphens, spaces->hyphens.
+            text = re.sub(r"[`*]", "", heading.strip())
+            text = re.sub(r"[^\w\- ]", "", text.lower())
+            return text.replace(" ", "-")
+
+        def headings(path: pathlib.Path) -> set:
+            out = set()
+            in_fence = False
+            for line in path.read_text().splitlines():
+                if line.startswith("```"):
+                    in_fence = not in_fence
+                elif not in_fence and line.startswith("#"):
+                    out.add(slugify(line.lstrip("#")))
+            return out
+
+        broken = []
+        for doc in DOC_FILES:
+            for target in link.findall(doc.read_text()):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                target_path, _, anchor = target.partition("#")
+                resolved = (
+                    (doc.parent / target_path).resolve() if target_path
+                    else doc
+                )
+                if not resolved.exists():
+                    broken.append(f"{doc.name}: {target} (missing file)")
+                    continue
+                if anchor and resolved.suffix == ".md":
+                    if slugify(anchor) not in headings(resolved):
+                        broken.append(
+                            f"{doc.name}: {target} (no such heading)")
+        assert not broken, "broken doc links:\n" + "\n".join(broken)
+
 
 def solver_class_names():
     """Every concrete Solver subclass the package exports, plus the
