@@ -14,6 +14,8 @@
     cosched serve --shards 4 --store memo.jsonl        # multi-process tier
     cosched submit --url http://127.0.0.1:8831 BT CG EP FT
     cosched bench --out benchmarks/results/BENCH_abc123.json  # perf document
+    cosched bench --trajectory             # cross-revision perf table
+    cosched replay --n 32 --churn 0.5      # incremental repair vs re-solve
 
 ``solve`` co-schedules named catalog programs and prints the schedule plus
 its degradation breakdown; ``--solver`` takes a runtime registry spec
@@ -32,7 +34,11 @@ memoizing solve service (``docs/SERVICE.md``) — single-process by
 default, or ``--shards N`` for the multi-process sharded tier
 (``docs/DEPLOYMENT.md``) with graceful SIGTERM drain and load-shedding
 via ``--shed-solver``; ``submit`` sends one problem to a running service
-and prints the resolved schedule.
+and prints the resolved schedule.  ``replay`` drives an arrival trace
+through the incremental repair engine (``docs/ONLINE.md``) and compares
+amortized repair latency against per-event full re-solves; ``bench
+--trajectory`` aggregates every committed ``BENCH_*.json`` into a
+cross-revision table.
 
 Every subcommand resolves solvers through :mod:`repro.runtime` — the CLI,
 the HTTP service and the experiment runners all accept the same solver
@@ -204,6 +210,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf import bench, kernels
 
+    if args.trajectory:
+        rows = bench.trajectory(args.results_dir)
+        if not rows:
+            print(f"no valid BENCH_*.json under {args.results_dir}",
+                  file=sys.stderr)
+            return 1
+        if args.out:
+            import json
+
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(rows, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"trajectory ({len(rows)} documents) -> {args.out}",
+                  file=sys.stderr)
+        print(bench.trajectory_markdown(rows))
+        return 0
     if args.repeats is not None and args.repeats < 1:
         print("--repeats must be >= 1", file=sys.stderr)
         return 2
@@ -244,11 +266,84 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"  service speedup at {service['points'][-1]['shards']} "
               f"shards: x{service['speedup_max_shards']:.2f}",
               file=sys.stderr)
+    online = doc.get("online")
+    if online:
+        print(f"  online repair n={online['trace']['n']} "
+              f"({online['trace']['events']} events): "
+              f"x{online['amortized_speedup']:.2f} amortized, "
+              f"mean regret {online['mean_regret']:.4f}, "
+              f"never worse than greedy: "
+              f"{online['never_worse_than_greedy']}", file=sys.stderr)
     if doc["baseline"] is not None:
         base = doc["baseline"]
         print(f"  vs baseline {base['revision']}: "
               f"x{base['speedup_vs_baseline']:.2f}", file=sys.stderr)
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .online import load_trace, replay_trace, synthetic_trace, write_trace
+
+    if _parse_solver_spec(args.base) is None:
+        return 2
+    if args.trace_file:
+        try:
+            trace = load_trace(args.trace_file)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load {args.trace_file}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        trace = synthetic_trace(args.n, events=args.events,
+                                churn=args.churn, seed=args.seed)
+    if args.save_trace:
+        write_trace(trace, args.save_trace)
+        print(f"trace ({len(trace['events'])} events) -> {args.save_trace}",
+              file=sys.stderr)
+    from .runtime import SpecError
+
+    try:
+        result = replay_trace(
+            trace,
+            base=args.base,
+            escalate_threshold=args.escalate_threshold,
+            saturation=args.saturation,
+            cluster=args.cluster,
+        )
+    except SpecError as exc:
+        print(f"bad --base {args.base!r} ({exc.reason}): {exc.detail}",
+              file=sys.stderr)
+        return 2
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"replay -> {args.out}", file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    t = result["trace"]
+    print(f"replayed {t['events']} events over n={t['n']} "
+          f"(u={result['u']}, churn {t['churn']:.2f}, "
+          f"base {result['specs']['full']!r})")
+    print(f"{'event':>5} {'op':>7} {'repair ms':>10} {'full ms':>9} "
+          f"{'speedup':>8} {'regret':>8} {'kept':>5}")
+    for e in result["events"]:
+        print(f"{e['event']:>5} {e['op']:>7} {e['repair_ms']:>10.1f} "
+              f"{e['full_ms']:>9.1f} {e['speedup']:>8.2f} "
+              f"{e['regret']:>8.4f} {e['machines_kept']:>5}"
+              + ("  ESCALATED" if e["escalated"] else ""))
+    print(f"\namortized speedup: x{result['amortized_speedup']:.2f} "
+          f"({result['repair_total_ms']:.0f}ms repair vs "
+          f"{result['full_total_ms']:.0f}ms full)")
+    print(f"regret: mean {result['mean_regret']:.4f}  "
+          f"max {result['max_regret']:.4f}")
+    print(f"never worse than greedy: {result['never_worse_than_greedy']}  "
+          f"escalations: {result['escalations']}")
+    return 0 if result["never_worse_than_greedy"] else 1
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
@@ -543,7 +638,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="where committed BENCH_*.json documents live; the newest one "
              "for another revision becomes the speedup baseline",
     )
+    p_bench.add_argument(
+        "--trajectory", action="store_true",
+        help="don't run anything: aggregate every committed BENCH_*.json "
+             "in --results-dir into a cross-revision markdown table "
+             "(--out additionally writes the rows as JSON)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="replay an arrival trace through the incremental repair engine",
+    )
+    p_replay.add_argument(
+        "--trace-file", default=None, metavar="FILE.json",
+        help="replay this repro.trace document instead of synthesizing one "
+             "(docs/ONLINE.md has the trace schema)",
+    )
+    p_replay.add_argument(
+        "--n", type=int, default=32, metavar="N",
+        help="initial roster size for a synthesized trace (default 32)",
+    )
+    p_replay.add_argument(
+        "--events", type=int, default=None, metavar="N",
+        help="number of churn events to synthesize "
+             "(default: round(churn * n))",
+    )
+    p_replay.add_argument(
+        "--churn", type=float, default=0.5, metavar="F",
+        help="churn fraction for a synthesized trace (default 0.5)",
+    )
+    p_replay.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="RNG seed for a synthesized trace",
+    )
+    p_replay.add_argument(
+        "--save-trace", default=None, metavar="FILE.json",
+        help="write the (possibly synthesized) trace before replaying, so "
+             "the run is reproducible with --trace-file",
+    )
+    p_replay.add_argument(
+        "--base", default="hastar", metavar="SPEC",
+        help="base solver spec: the repair path runs repair?base=SPEC, the "
+             "full-solve baseline runs SPEC from scratch per event",
+    )
+    p_replay.add_argument(
+        "--escalate-threshold", type=float, default=0.5, metavar="F",
+        help="perturbed-process fraction above which repair escalates to a "
+             "full warm-started re-solve (default 0.5)",
+    )
+    p_replay.add_argument(
+        "--saturation", type=float, default=None, metavar="S",
+        help="pressure-model saturation cap (default: uncapped; the "
+             "committed bench uses 4.0)",
+    )
+    p_replay.add_argument("--cluster", default="quad",
+                          choices=("dual", "quad", "eight"))
+    p_replay.add_argument(
+        "--out", default=None, metavar="FILE.json",
+        help="write the full replay result document here",
+    )
+    p_replay.add_argument(
+        "--json", action="store_true",
+        help="print the replay result document instead of the event table",
+    )
+    p_replay.set_defaults(func=_cmd_replay)
 
     p_sim = sub.add_parser("simulate", help="online placement-policy race")
     p_sim.add_argument("--jobs", type=int, default=60)

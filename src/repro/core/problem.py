@@ -269,6 +269,19 @@ class CoSchedulingProblem:
             return None
         return job.job_id
 
+    def seed_node_weight(self, node: Tuple[int, ...], weight: float) -> None:
+        """Pre-populate the node-weight memo with a known value.
+
+        Incremental re-solves (:mod:`repro.online`) carry machine groups
+        whose weights were already computed against an identical model in a
+        prior problem instance; seeding them here lets the repair path skip
+        re-evaluating untouched machines.  Only safe when the degradation of
+        ``node``'s members depends solely on their own machine's coset
+        (serial, no-communication workloads) — the caller owns that
+        invariant.
+        """
+        self._node_cache[tuple(sorted(node))] = float(weight)
+
     def clear_caches(self) -> None:
         """Drop every memo layer: the problem-level dicts AND the
         degradation model's internal caches (via the model's own

@@ -1,0 +1,50 @@
+"""Online arrivals and incremental re-solve (ROADMAP item).
+
+Three pieces turn the one-shot solver stack into an incremental engine:
+
+* :mod:`repro.online.delta` — content-descriptor matching between two
+  problem instances, derived from the canonical service codec so
+  unchanged machine groups keep their cache identity;
+* :mod:`repro.online.session` — :class:`ProblemSession`, a mutable
+  roster of serial jobs with ``arrive``/``depart``/``update`` deltas and
+  ``solve``/``repair`` paths;
+* :mod:`repro.online.replay` — trace files and the event-driven replay
+  simulator measuring amortized repair latency and objective regret.
+
+The repair solver itself lives in the registry
+(``repair?base=hastar`` — :class:`repro.solvers.repair.RepairSolver`);
+this package only *drives* it, so every construction still routes
+through ``repro.runtime.create_solver``.  See ``docs/ONLINE.md``.
+"""
+
+from .delta import (
+    ProblemDelta,
+    group_fingerprint,
+    job_descriptors,
+    match_delta,
+    partial_from_base,
+)
+from .replay import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    load_trace,
+    replay_trace,
+    synthetic_trace,
+    write_trace,
+)
+from .session import ProblemSession
+
+__all__ = [
+    "ProblemDelta",
+    "ProblemSession",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "group_fingerprint",
+    "job_descriptors",
+    "load_trace",
+    "match_delta",
+    "partial_from_base",
+    "replay_trace",
+    "synthetic_trace",
+    "write_trace",
+]

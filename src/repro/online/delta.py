@@ -1,0 +1,170 @@
+"""Delta matching between two problem instances.
+
+The paper's condensation insight (Section III-E) is that processes with
+identical serial content and communication properties are interchangeable:
+a schedule never depends on *which* of two content-identical processes sits
+where.  The service codec already exploits this for whole problems — jobs
+are sorted by content and relabeled, so a fingerprint is invariant under
+renaming.  This module applies the same idea *between* two problems: jobs
+present in both (by content descriptor) are **survivors** whose machine
+assignments are provably reusable when degradations are machine-local;
+jobs only in the new problem are **arrivals**; jobs only in the base are
+**departures**.  A profile update is a departure plus an arrival.
+
+The derived :func:`group_fingerprint` hashes a machine group's member
+descriptors through the canonical codec, so an unchanged machine keeps its
+cache identity across arbitrary pid relabelings — the property the
+incremental repair path (:mod:`repro.online.session`) builds on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..core.problem import CoSchedulingProblem
+from ..core.schedule import CoSchedule
+from ..service.codec import (
+    _canonical_json,
+    _job_param_descriptor,
+    _topology_to_dict,
+)
+
+__all__ = [
+    "ProblemDelta",
+    "group_fingerprint",
+    "job_descriptors",
+    "match_delta",
+    "partial_from_base",
+]
+
+
+def _job_descriptor(problem: CoSchedulingProblem, job) -> str:
+    """Canonical content descriptor of one job — the exact string the codec
+    sorts on, so two jobs match iff the codec would consider them
+    interchangeable."""
+    topo = (sorted(_topology_to_dict(job.topology).items())
+            if job.topology is not None else None)
+    return _canonical_json([
+        job.kind.value, job.nprocs, topo, _job_param_descriptor(problem, job),
+    ])
+
+
+def job_descriptors(problem: CoSchedulingProblem) -> Dict[int, str]:
+    """``job_id -> canonical content descriptor`` for every job."""
+    return {
+        job.job_id: _job_descriptor(problem, job)
+        for job in problem.workload.jobs
+    }
+
+
+@dataclass(frozen=True)
+class ProblemDelta:
+    """The matched difference between a base and a new problem.
+
+    ``survivors`` maps each surviving new pid to the base pid carrying the
+    same content (rank-to-rank within matched jobs); ``arrivals`` are new
+    pids with no base counterpart; ``departures`` are base pids with no new
+    counterpart.  Imaginary padding is never matched — free capacity is the
+    repair solver's to reassign.
+    """
+
+    survivors: Mapping[int, int] = field(default_factory=dict)
+    arrivals: Tuple[int, ...] = ()
+    departures: Tuple[int, ...] = ()
+
+    @property
+    def n_survivors(self) -> int:
+        return len(self.survivors)
+
+
+def match_delta(base: CoSchedulingProblem,
+                new: CoSchedulingProblem) -> ProblemDelta:
+    """Match ``new``'s jobs against ``base``'s by content descriptor.
+
+    Descriptors are matched as multisets (two content-identical jobs in the
+    base can satisfy two in the new problem); ties break deterministically
+    by ascending job id on both sides.  Within a matched job pair, ranks
+    pair positionally — descriptors embed per-rank parameters in rank
+    order, so rank ``k`` of one job is content-identical to rank ``k`` of
+    the other.
+    """
+    base_by_desc: Dict[str, List[int]] = {}
+    for job in base.workload.jobs:
+        base_by_desc.setdefault(_job_descriptor(base, job), []).append(
+            job.job_id)
+    for ids in base_by_desc.values():
+        ids.sort()
+
+    survivors: Dict[int, int] = {}
+    arrivals: List[int] = []
+    matched_base: set = set()
+    for job in new.workload.jobs:
+        desc = _job_descriptor(new, job)
+        pool = base_by_desc.get(desc)
+        if pool:
+            base_id = pool.pop(0)
+            matched_base.add(base_id)
+            base_pids = base.workload.processes_of(base_id)
+            new_pids = new.workload.processes_of(job.job_id)
+            for new_pid, base_pid in zip(new_pids, base_pids):
+                survivors[new_pid] = base_pid
+        else:
+            arrivals.extend(new.workload.processes_of(job.job_id))
+
+    departures: List[int] = []
+    for job in base.workload.jobs:
+        if job.job_id not in matched_base:
+            departures.extend(base.workload.processes_of(job.job_id))
+    return ProblemDelta(
+        survivors=survivors,
+        arrivals=tuple(sorted(arrivals)),
+        departures=tuple(sorted(departures)),
+    )
+
+
+def partial_from_base(base_schedule: CoSchedule,
+                      delta: ProblemDelta) -> List[Tuple[int, ...]]:
+    """The stale schedule's machine groups re-expressed in *new* pids.
+
+    Each base machine contributes the tuple of its surviving members
+    (departed and imaginary members drop out); machines with no survivors
+    contribute nothing.  A tuple of exactly ``u`` members is a machine the
+    repair path can keep verbatim; shorter tuples are warm-start hints for
+    the perturbed sub-problem.
+    """
+    inverse: Dict[int, int] = {b: n for n, b in delta.survivors.items()}
+    partial: List[Tuple[int, ...]] = []
+    for group in base_schedule.groups:
+        kept = tuple(sorted(
+            inverse[pid] for pid in group if pid in inverse
+        ))
+        if kept:
+            partial.append(kept)
+    return partial
+
+
+def group_fingerprint(problem: CoSchedulingProblem,
+                      group: Sequence[int]) -> str:
+    """Content-addressed identity of one machine group.
+
+    The SHA-256 of the sorted member descriptors (rank-tagged, imaginary
+    members hash as ``"pad"``), derived from the same canonical codec the
+    problem fingerprint uses — so a machine whose co-runner set is
+    untouched by a delta keeps its fingerprint across relabelings, and a
+    machine that gained/lost/changed a member does not.
+    """
+    wl = problem.workload
+    members: List[str] = []
+    for pid in group:
+        if wl.is_imaginary(pid):
+            members.append('"pad"')
+            continue
+        job = wl.job_of(pid)
+        rank = wl.processes[pid].rank
+        members.append(_canonical_json(
+            [_job_descriptor(problem, job), rank]))
+    return hashlib.sha256(
+        _canonical_json(sorted(members)).encode("utf-8")
+    ).hexdigest()

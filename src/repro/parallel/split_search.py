@@ -30,15 +30,17 @@ from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
 from ..solvers.base import Solver, SolveResult
 
-__all__ = ["SplitOAStar"]
+__all__ = ["RestrictedModel", "SplitOAStar"]
 
 
-class _RestrictedModel(CacheDegradationModel):
+class RestrictedModel(CacheDegradationModel):
     """View of a degradation model over a subset of the original pids.
 
     The reduced subproblem relabels the surviving pids densely; this adapter
     maps them back so degradations (and floors) are evaluated against the
-    original model.
+    original model.  Shared by the root-split search below and the
+    incremental repair path (:mod:`repro.online`), both of which carve a
+    sub-problem out of a larger one without copying profile data.
     """
 
     def __init__(self, base: CacheDegradationModel, pid_map: Tuple[int, ...]):
@@ -64,6 +66,10 @@ class _RestrictedModel(CacheDegradationModel):
 
     def interchangeable_key(self, pid):
         return self.base.interchangeable_key(self.pid_map[pid])
+
+
+#: Backwards-compatible private alias (pre-1.0 name).
+_RestrictedModel = RestrictedModel
 
 
 def _solve_chunk(args) -> Tuple[float, Optional[List[Tuple[int, ...]]]]:

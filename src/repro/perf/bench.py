@@ -18,6 +18,11 @@ The document records, for this working tree and this machine:
   so the work is deadline-bound and the shard processes overlap; the
   ratio of the largest point to the single-shard point is the recorded
   ``speedup_max_shards``;
+* **online repair** — the incremental re-solve engine
+  (``docs/ONLINE.md``) replayed over a 50%-churn synthetic arrival
+  trace: amortized speedup of ``repair?base=hastar`` against
+  per-event full re-solves, mean/max objective regret, and the
+  never-worse-than-greedy guarantee flag;
 * **provenance** — git revision, kernel backend (``native`` | ``numpy``),
   provider (``cc``/``numba``/``numpy``), and the ``COSCHED_NATIVE``
   opt-out state;
@@ -45,12 +50,14 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 __all__ = ["run_bench", "validate", "write_bench", "find_baseline",
-           "SCHEMA", "SCHEMA_V1"]
+           "trajectory", "trajectory_markdown",
+           "SCHEMA", "SCHEMA_V1", "SCHEMA_V2"]
 
 #: Schema tag embedded in every new bench document.
-SCHEMA = "cosched-bench/2"
-#: Prior schema, still accepted by :func:`validate` (documents written
-#: before the sharded service tier carry no ``service`` section).
+SCHEMA = "cosched-bench/3"
+#: Prior schemas, still accepted by :func:`validate` (v1 documents
+#: predate the ``service`` section, v2 documents the ``online`` one).
+SCHEMA_V2 = "cosched-bench/2"
 SCHEMA_V1 = "cosched-bench/1"
 
 _REQUIRED_TOP = (
@@ -64,6 +71,9 @@ _REQUIRED_LATENCY = ("p50", "p90", "max")
 _REQUIRED_SERVICE = ("stream", "cpu_count", "points", "speedup_max_shards")
 _REQUIRED_SERVICE_POINT = ("shards", "requests", "seconds", "rps",
                            "solves", "cache_hits", "coalesced", "shed")
+_REQUIRED_ONLINE = ("trace", "specs", "u", "events", "repair_total_ms",
+                    "full_total_ms", "amortized_speedup", "mean_regret",
+                    "max_regret", "never_worse_than_greedy", "escalations")
 
 
 def _git_revision() -> str:
@@ -285,6 +295,25 @@ def _service_case(smoke: bool) -> Dict[str, object]:
     }
 
 
+def _online_case(smoke: bool) -> Dict[str, object]:
+    """Replay the incremental-repair engine over a 50%-churn trace.
+
+    The full run is the acceptance configuration of the online section
+    (``docs/ONLINE.md``): n=32 initial jobs on quad machines (u=4),
+    16 churn events (update/depart/arrive cycle), ``repair?base=hastar``
+    against per-event full ``hastar`` re-solves with a PG floor.  The
+    per-event records are kept in the document so regressions can be
+    localized to an event kind.
+    """
+    from ..online import replay_trace, synthetic_trace
+
+    if smoke:
+        trace = synthetic_trace(16, events=4, seed=0)
+    else:
+        trace = synthetic_trace(32, seed=0)
+    return replay_trace(trace, base="hastar", saturation=4.0)
+
+
 def find_baseline(results_dir: str,
                   current_revision: str) -> Optional[Dict[str, object]]:
     """The newest valid ``BENCH_*.json`` for a *different* revision.
@@ -342,6 +371,7 @@ def run_bench(
         "micro": _micro_cases(smoke),
         "solve": _solve_case(smoke, repeats),
         "service": _service_case(smoke),
+        "online": _online_case(smoke),
     }
     baseline = None
     if results_dir:
@@ -369,9 +399,9 @@ def validate(doc: object) -> None:
     for key in _REQUIRED_TOP:
         if key not in doc:
             raise ValueError(f"missing key: {key}")
-    if doc["schema"] not in (SCHEMA, SCHEMA_V1):
+    if doc["schema"] not in (SCHEMA, SCHEMA_V2, SCHEMA_V1):
         raise ValueError(
-            f"schema must be {SCHEMA!r} or {SCHEMA_V1!r}, "
+            f"schema must be {SCHEMA!r}, {SCHEMA_V2!r} or {SCHEMA_V1!r}, "
             f"got {doc['schema']!r}"
         )
     if doc["kernel_backend"] not in ("native", "numpy"):
@@ -417,6 +447,27 @@ def validate(doc: object) -> None:
                     f"service.points[{i}].{key} must be a number")
     if not isinstance(service["speedup_max_shards"], (int, float)):
         raise ValueError("service.speedup_max_shards must be a number")
+    if doc["schema"] == SCHEMA_V2:
+        return  # v2 documents predate the online section
+    online = doc.get("online")
+    if not isinstance(online, dict):
+        raise ValueError("missing key: online")
+    for key in _REQUIRED_ONLINE:
+        if key not in online:
+            raise ValueError(f"missing key: online.{key}")
+    for key in ("repair_total_ms", "full_total_ms", "amortized_speedup",
+                "mean_regret", "max_regret", "escalations"):
+        if not isinstance(online[key], (int, float)):
+            raise ValueError(f"online.{key} must be a number")
+    if not isinstance(online["never_worse_than_greedy"], bool):
+        raise ValueError("online.never_worse_than_greedy must be a bool")
+    if not isinstance(online["events"], list) or not online["events"]:
+        raise ValueError("online.events must be a non-empty list")
+    for i, event in enumerate(online["events"]):
+        for key in ("repair_ms", "full_ms", "regret"):
+            if not isinstance(event.get(key), (int, float)):
+                raise ValueError(
+                    f"online.events[{i}].{key} must be a number")
 
 
 def write_bench(doc: Dict[str, object], path: str) -> None:
@@ -427,3 +478,83 @@ def write_bench(doc: Dict[str, object], path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def trajectory(results_dir: str) -> List[Dict[str, object]]:
+    """Every valid ``BENCH_*.json`` in ``results_dir`` as one comparable
+    row per document, oldest first.
+
+    Rows normalize across schema versions: v1 documents have no
+    ``service`` section and v1/v2 no ``online`` section, so those columns
+    are ``None`` there.  Unreadable or schema-invalid files are skipped
+    (same policy as :func:`find_baseline`).  ``cosched bench
+    --trajectory`` renders this as the cross-revision table.
+    """
+    try:
+        names = sorted(
+            f for f in os.listdir(results_dir)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        )
+    except OSError:
+        return []
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        path = os.path.join(results_dir, name)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            validate(doc)
+        except (OSError, ValueError):
+            continue
+        micro = doc["micro"]
+        service = doc.get("service")
+        online = doc.get("online")
+        rows.append({
+            "file": name,
+            "revision": doc["revision"],
+            "created_unix": doc["created_unix"],
+            "schema": doc["schema"],
+            "kernel_backend": doc["kernel_backend"],
+            "smoke": bool(doc["smoke"]),
+            "solve_p50_ms": doc["solve"]["latency_ms"]["p50"],
+            "solve_n": doc["solve"]["n"],
+            "nodes_per_sec": doc["solve"]["nodes_per_sec"],
+            "micro_speedup_max": max(
+                case["speedup"] for case in micro.values()
+            ) if micro else None,
+            "service_speedup": (
+                service["speedup_max_shards"] if service else None
+            ),
+            "online_speedup": (
+                online["amortized_speedup"] if online else None
+            ),
+            "online_mean_regret": (
+                online["mean_regret"] if online else None
+            ),
+        })
+    rows.sort(key=lambda r: r["created_unix"])
+    return rows
+
+
+def trajectory_markdown(rows: List[Dict[str, object]]) -> str:
+    """Render :func:`trajectory` rows as a GitHub-flavored markdown table."""
+    header = ("| revision | schema | backend | smoke | solve p50 (ms) "
+              "| nodes/s | service x | online x | regret |")
+    rule = ("|---|---|---|---|---:|---:|---:|---:|---:|")
+
+    def num(v, fmt="{:.2f}"):
+        return fmt.format(v) if isinstance(v, (int, float)) else "—"
+
+    lines = [header, rule]
+    for r in rows:
+        lines.append(
+            f"| {r['revision']} | {r['schema'].rsplit('/', 1)[-1]} "
+            f"| {r['kernel_backend']} "
+            f"| {'yes' if r['smoke'] else 'no'} "
+            f"| {num(r['solve_p50_ms'])} "
+            f"| {num(r['nodes_per_sec'], '{:.0f}')} "
+            f"| {num(r['service_speedup'])} "
+            f"| {num(r['online_speedup'])} "
+            f"| {num(r['online_mean_regret'], '{:.4f}')} |"
+        )
+    return "\n".join(lines)

@@ -80,6 +80,7 @@ EVENT_TYPES = (
     "svc_warm_start",
     "svc_reject",
     "svc_shed",
+    "svc_delta",
     "svc_drain",
     "svc_shard_route",
     "svc_shard_spawn",

@@ -41,6 +41,7 @@ from ..solvers import (
     OAStar,
     OSVP,
     PolitenessGreedy,
+    RepairSolver,
     ScipyMILP,
     SimulatedAnnealing,
     SwapHillClimber,
@@ -106,6 +107,12 @@ class SolverInfo:
         Runs emit structured events through an attached
         :class:`~repro.perf.Tracer` (at minimum ``solve_start`` /
         ``solve_end``).
+    ``supports_repair``
+        The solver can serve as the ``base`` of the incremental repair
+        path (``repair?base=<name>``, :mod:`repro.online`): it accepts the
+        reduced serial sub-problems repair extracts and honors warm
+        starts.  ``RepairSolver`` rejects non-advertising bases with a
+        structured ``SpecError`` (reason ``"repair_base"``).
     ``param_aliases``
         Spec-parameter shorthands, e.g. HA*'s ``mer`` for ``beam_width``.
     """
@@ -119,6 +126,7 @@ class SolverInfo:
     supports_warm_start: bool = True
     supports_workers: bool = False
     supports_trace: bool = True
+    supports_repair: bool = False
     param_aliases: Mapping[str, str] = field(default_factory=dict)
 
     @property
@@ -135,6 +143,7 @@ class SolverInfo:
             "supports_warm_start": self.supports_warm_start,
             "supports_workers": self.supports_workers,
             "supports_trace": self.supports_trace,
+            "supports_repair": self.supports_repair,
         }
 
 
@@ -330,6 +339,7 @@ register(SolverInfo(
     exact=True,
     budget_currencies=_SEARCH_CURRENCIES,
     supports_workers=True,
+    supports_repair=True,
 ))
 register(SolverInfo(
     name="hastar",
@@ -339,6 +349,7 @@ register(SolverInfo(
     exact=False,
     budget_currencies=_SEARCH_CURRENCIES,
     supports_workers=True,
+    supports_repair=True,
     param_aliases={"mer": "beam_width"},
 ))
 register(SolverInfo(
@@ -349,6 +360,7 @@ register(SolverInfo(
     exact=True,
     budget_currencies=_SEARCH_CURRENCIES,
     supports_workers=True,
+    supports_repair=True,
 ))
 register(SolverInfo(
     name="pg",
@@ -357,6 +369,7 @@ register(SolverInfo(
     summary="politeness-greedy placement (Section V) — fast, always finishes",
     exact=False,
     budget_currencies=(),  # never needs to stop early
+    supports_repair=True,
 ))
 register(SolverInfo(
     name="ip",
@@ -381,6 +394,7 @@ register(SolverInfo(
     summary="steepest-descent pairwise swaps to a swap-local optimum",
     exact=False,
     budget_currencies=_SEARCH_CURRENCIES,
+    supports_repair=True,
 ))
 register(SolverInfo(
     name="anneal",
@@ -389,6 +403,7 @@ register(SolverInfo(
     summary="Metropolis swap annealing with geometric cooling",
     exact=False,
     budget_currencies=_SEARCH_CURRENCIES,
+    supports_repair=True,
 ))
 register(SolverInfo(
     name="brute",
@@ -415,6 +430,7 @@ register(SolverInfo(
             "(chain=... overrides the stages)",
     exact=True,  # the unbudgeted default chain ends at the exact stage
     budget_currencies=_SEARCH_CURRENCIES,
+    supports_repair=True,
 ))
 register(SolverInfo(
     name="portfolio",
@@ -428,6 +444,17 @@ register(SolverInfo(
     # honored portfolio-wide.
     budget_currencies=("wall_time",),
     supports_workers=True,
+))
+register(SolverInfo(
+    name="repair",
+    aliases=("incremental",),
+    factory=RepairSolver,
+    summary="incremental schedule repair over a stale solution "
+            "(base=... picks the sub-problem solver; see repro.online)",
+    exact=False,
+    # Budgets are accepted but not polled: repair's cost is dominated by
+    # the (typically tiny) base sub-solve.
+    budget_currencies=(),
 ))
 
 

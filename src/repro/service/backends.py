@@ -11,10 +11,14 @@ a :class:`StoreBackend`.  Three implementations:
   processes can share one log file*); :meth:`~AppendLogBackend.replay`
   reads the snapshot first, then the log, tolerating a truncated final
   line (the signature of a crash mid-append); :meth:`~AppendLogBackend.compact`
-  folds the log into a fresh snapshot (written to a temp file and
-  atomically renamed) and truncates the log.  Compaction must only run
-  while the tier is quiescent — the drain/restart runbook in
-  ``docs/DEPLOYMENT.md`` is the operational contract;
+  monotone-merges the caller's entries with everything durably in the log,
+  writes the merge to a fresh snapshot (temp file, fsync, atomic rename),
+  and truncates the log *only if no new bytes landed since it was read* —
+  a concurrent appender (another shard mid-solve) just leaves the log in
+  place, where the next replay or compaction folds it in.  Compaction is
+  therefore safe to run against live appenders; the drain/restart runbook
+  in ``docs/DEPLOYMENT.md`` stays the recommended time to do it because a
+  quiescent log is the only one that actually shrinks;
 * the legacy single-file JSONL mode of ``SolutionStore(path=...)`` is now
   an ``AppendLogBackend`` whose log *is* that path (snapshot at
   ``<path>.snap``), so existing stores replay unchanged.
@@ -31,9 +35,14 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .store import StoreEntry
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["StoreBackend", "MemoryBackend", "AppendLogBackend"]
 
@@ -82,6 +91,19 @@ class MemoryBackend(StoreBackend):
 
     def compact(self, entries: Iterable[StoreEntry]) -> None:
         pass
+
+
+def _merge_entry(best: Dict[str, StoreEntry], entry: StoreEntry) -> None:
+    """The store's monotone merge (see ``SolutionStore.record``), applied
+    to a plain dict during compaction."""
+    old = best.get(entry.fingerprint)
+    if old is not None:
+        improves = entry.objective < old.objective
+        upgrades = (entry.optimal and not old.optimal
+                    and entry.objective <= old.objective)
+        if not (improves or upgrades):
+            return
+    best[entry.fingerprint] = entry
 
 
 def _iter_jsonl_entries(path: str, strict_tail: bool) -> Iterator[StoreEntry]:
@@ -149,42 +171,108 @@ class AppendLogBackend(StoreBackend):
         yield from _iter_jsonl_entries(self.snapshot_path, strict_tail=True)
         yield from _iter_jsonl_entries(self.path, strict_tail=False)
 
+    def _ensure_fd(self) -> int:
+        """The O_APPEND descriptor, opened lazily (call under the lock)."""
+        if self._fd is None:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        return self._fd
+
     def append(self, entry: StoreEntry) -> None:
         line = json.dumps(entry.to_dict(), separators=(",", ":")) + "\n"
         data = line.encode("utf-8")
         with self._lock:
-            if self._fd is None:
-                parent = os.path.dirname(os.path.abspath(self.path))
-                os.makedirs(parent, exist_ok=True)
-                self._fd = os.open(
-                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-                )
-            os.write(self._fd, data)
+            fd = self._ensure_fd()
+            # Shared flock: appends proceed concurrently with each other
+            # (O_APPEND keeps lines whole) but exclude a compactor's
+            # check-and-truncate window in another process.
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_SH)
+            try:
+                os.write(fd, data)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+
+    def _read_complete_log(self) -> Tuple[int, List[StoreEntry]]:
+        """The log's durably complete prefix: ``(byte length, entries)``.
+
+        Bytes after the last newline are a crash's torn tail and are
+        excluded (and preserved on disk, matching what :meth:`replay`
+        tolerates).  A malformed line *before* the last complete one is
+        real corruption and raises, same policy as replay.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                data = fh.read()
+        except OSError:
+            return 0, []
+        cut = data.rfind(b"\n") + 1  # 0 when no complete line yet
+        lines = data[:cut].split(b"\n")[:-1] if cut else []
+        entries: List[StoreEntry] = []
+        for i, raw in enumerate(lines):
+            text = raw.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                entries.append(StoreEntry.from_dict(json.loads(text)))
+            except (ValueError, KeyError, TypeError) as exc:
+                if i == len(lines) - 1:
+                    continue  # a cut line that still got its newline
+                raise ValueError(
+                    f"{self.path}:{i + 1}: corrupt store record: "
+                    f"{text[:80]!r}"
+                ) from exc
+        return cut, entries
 
     def compact(self, entries: Iterable[StoreEntry]) -> None:
-        """Fold the current state into the snapshot and truncate the log.
+        """Fold durable state into the snapshot; truncate the log if safe.
 
-        The snapshot is written to a temp file and atomically renamed, so
-        a crash mid-compaction leaves the previous snapshot + log intact.
-        Run only while quiescent (no concurrent appenders): the log
-        truncation races with in-flight appends from other processes.
+        The new snapshot is the **monotone merge** of ``entries`` (the
+        calling store's view), the previous snapshot, and every complete
+        line already in the log — so entries appended by *other*
+        processes sharing the log, or folded by an earlier compaction the
+        caller never replayed, survive.  The snapshot is written to a
+        temp file, fsynced and atomically renamed, so a crash
+        mid-compaction leaves the previous snapshot + log intact.  The log
+        is then truncated only when its size still equals the merged
+        prefix (checked under an exclusive ``flock``): if a concurrent
+        append landed in the window, the log is left untouched — its
+        pre-merge prefix duplicates the snapshot, which replay's monotone
+        merge makes harmless.
         """
+        best: Dict[str, StoreEntry] = {}
+        for entry in entries:
+            _merge_entry(best, entry)
+        for entry in _iter_jsonl_entries(self.snapshot_path,
+                                         strict_tail=True):
+            _merge_entry(best, entry)
+        cut, logged = self._read_complete_log()
+        for entry in logged:
+            _merge_entry(best, entry)
         tmp = self.snapshot_path + ".tmp"
         parent = os.path.dirname(os.path.abspath(self.snapshot_path))
         os.makedirs(parent, exist_ok=True)
         with open(tmp, "w", encoding="utf-8") as fh:
-            for entry in entries:
-                fh.write(json.dumps(entry.to_dict(),
+            for fingerprint in sorted(best):
+                fh.write(json.dumps(best[fingerprint].to_dict(),
                                     separators=(",", ":")) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.snapshot_path)
         with self._lock:
-            if self._fd is not None:
-                os.close(self._fd)
-                self._fd = None
-            with open(self.path, "w", encoding="utf-8"):
-                pass  # truncate: the snapshot now carries everything
+            fd = self._ensure_fd()
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                if os.fstat(fd).st_size == cut:
+                    os.ftruncate(fd, 0)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
 
     def close(self) -> None:
         with self._lock:

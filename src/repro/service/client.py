@@ -100,6 +100,32 @@ class ServiceClient:
             payload["budget"] = budget
         return self._request("POST", "/solve", payload)
 
+    def delta(
+        self,
+        base_problem: CoSchedulingProblem,
+        problem: CoSchedulingProblem,
+        solver: Optional[str] = None,
+        budget: Optional[dict] = None,
+        priority: int = 1,
+        refine: bool = False,
+        wait: float = 0.0,
+    ) -> dict:
+        """``POST /delta`` — incremental re-solve of ``problem`` against
+        the stored schedule of ``base_problem``; returns the ticket
+        status document (with ``base_fingerprint`` / ``base_hit``)."""
+        payload: dict = {
+            "base_problem": problem_to_dict(base_problem),
+            "problem": problem_to_dict(problem),
+            "priority": priority,
+            "refine": refine,
+            "wait": wait,
+        }
+        if solver is not None:
+            payload["solver"] = solver
+        if budget is not None:
+            payload["budget"] = budget
+        return self._request("POST", "/delta", payload)
+
     def status(self, ticket_id: str) -> dict:
         """``GET /status/<id>``."""
         return self._request("GET", f"/status/{ticket_id}")

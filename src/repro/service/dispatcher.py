@@ -29,8 +29,9 @@ Ticket ids are namespaced ``s<shard>-<local id>`` so ``status()`` can
 route; dispatcher-resolved shed tickets are ``shed-<n>`` and kept in a
 bounded local table.
 
-:func:`start_dispatcher_server` serves the same three JSON endpoints as
-the single-process server plus ``GET /health`` (shard liveness), so
+:func:`start_dispatcher_server` serves the same JSON endpoints as the
+single-process server (``/solve``, ``/delta``, ``/status``, ``/metrics``)
+plus ``GET /health`` (shard liveness), so
 ``cosched submit`` and :class:`~repro.service.client.ServiceClient` work
 unchanged against a sharded tier.
 """
@@ -292,6 +293,79 @@ class ShardedService:
         doc["shard"] = index
         return doc
 
+    def submit_delta(
+        self,
+        base_problem: CoSchedulingProblem,
+        problem: CoSchedulingProblem,
+        solver: Optional[str] = None,
+        budget: Optional[dict] = None,
+        priority: int = 1,
+        refine: bool = False,
+        wait: float = 0.0,
+    ) -> dict:
+        """Route an incremental request by its **base** fingerprint.
+
+        Delta requests go to the shard that owns ``base_problem`` — that
+        shard's store holds the warm schedule the repair path starts
+        from.  The result is recorded under the *new* problem's
+        fingerprint, which may canonically belong to a different shard;
+        that is safe (stores merge monotonically, and a later ``/solve``
+        for the new fingerprint simply re-solves on its owner shard) but
+        means delta results are cached for the base owner's locality, not
+        globally.  Shedding and dead-shard handling mirror
+        :meth:`submit` — a shed delta degrades to a from-scratch greedy
+        solve of the new problem.
+        """
+        if solver is not None:
+            try:
+                parse_spec(solver)
+            except SpecError as exc:
+                raise RequestRejected(exc.reason, exc.detail) from exc
+        base_fp = problem_fingerprint(base_problem)
+        fp = problem_fingerprint(problem)
+        with self._lock:
+            if self._draining:
+                self._stats["rejected"] += 1
+                raise RequestRejected(
+                    "draining",
+                    "sharded tier is draining; retry after restart",
+                )
+        index = shard_for(base_fp, self.num_shards)
+        self._emit("svc_shard_route", shard=index, fingerprint=base_fp,
+                   delta=True)
+        handle = self._handles[index]
+        try:
+            doc = handle.client.delta(
+                base_problem, problem, solver=solver, budget=budget,
+                priority=priority, refine=refine,
+                wait=min(wait, self.request_timeout - 1.0),
+            )
+        except ServiceError as exc:
+            reason = exc.payload.get("reason")
+            if reason == "queue_full" and self._shed_policy is not None:
+                return self._shed(problem, fp, index, priority,
+                                  reason="queue_full")
+            with self._lock:
+                self._stats["rejected"] += 1
+            raise
+        except OSError as exc:
+            with self._lock:
+                self._stats["forward_errors"] += 1
+            self._handle_dead_shard(index)
+            if self._shed_policy is not None:
+                return self._shed(problem, fp, index, priority,
+                                  reason="shard_down")
+            raise ServiceError(
+                503, {"error": "shard_down", "shard": index,
+                      "detail": str(exc)},
+            ) from exc
+        with self._lock:
+            self._stats["routed"] += 1
+            self._per_shard_routed[index] += 1
+        doc["id"] = f"s{index}-{doc['id']}"
+        doc["shard"] = index
+        return doc
+
     def _handle_dead_shard(self, index: int) -> None:
         with self._lock:
             if self._draining or not self.respawn:
@@ -477,7 +551,7 @@ class _DispatcherHandler(BaseHTTPRequestHandler):
                           "detail": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        if self.path != "/solve":
+        if self.path not in ("/solve", "/delta"):
             self._drain_body()
             self._reply(404, {"error": "not_found",
                               "detail": f"no route {self.path!r}"})
@@ -487,6 +561,9 @@ class _DispatcherHandler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length", 0))
             doc = json.loads(self.rfile.read(length) or b"{}")
             problem = problem_from_dict(doc["problem"])
+            base_problem = None
+            if self.path == "/delta":
+                base_problem = problem_from_dict(doc["base_problem"])
             budget = _budget_doc(doc.get("budget"))
             wait = float(doc.get("wait", 0.0))
             priority = int(doc.get("priority", 1))
@@ -496,9 +573,14 @@ class _DispatcherHandler(BaseHTTPRequestHandler):
             self._reply(400, {"error": "bad_request", "detail": str(exc)})
             return
         try:
-            ticket = sharded.submit(problem, solver=solver, budget=budget,
-                                    priority=priority, refine=refine,
-                                    wait=wait)
+            if base_problem is not None:
+                ticket = sharded.submit_delta(
+                    base_problem, problem, solver=solver, budget=budget,
+                    priority=priority, refine=refine, wait=wait)
+            else:
+                ticket = sharded.submit(problem, solver=solver,
+                                        budget=budget, priority=priority,
+                                        refine=refine, wait=wait)
         except RequestRejected as exc:
             if exc.reason == "draining":
                 self._reply(503, exc.to_dict(),

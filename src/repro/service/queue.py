@@ -49,6 +49,7 @@ from ..perf import kernels as _kernels
 from ..perf.counters import PerfCounters
 from ..runtime import (
     SpecError,
+    create_solver,
     parse_spec,
     resolve_shed_policy,
     run_solve,
@@ -111,12 +112,19 @@ class ServiceTicket:
     """
 
     def __init__(self, ticket_id: str, fingerprint: str, solver: str,
-                 priority: int, pid_map: Optional[List[int]] = None):
+                 priority: int, pid_map: Optional[List[int]] = None,
+                 stale_partial: Optional[List[tuple]] = None,
+                 base_fingerprint: Optional[str] = None):
         self.ticket_id = ticket_id
         self.fingerprint = fingerprint
         self.solver = solver
         self.priority = priority
         self._pid_map = pid_map
+        #: Delta submissions (``POST /delta``): surviving machine groups of
+        #: the base schedule in this problem's pids, attached before the
+        #: ticket enters the heap so the worker sees them race-free.
+        self.stale_partial = stale_partial
+        self.base_fingerprint = base_fingerprint
         self.state = "queued"
         self.disposition: Optional[str] = None
         self.objective: Optional[float] = None
@@ -178,6 +186,9 @@ class ServiceTicket:
             "priority": self.priority,
             "disposition": self.disposition,
         }
+        if self.base_fingerprint is not None:
+            out["base_fingerprint"] = self.base_fingerprint
+            out["base_hit"] = self.stale_partial is not None
         if self.state == "done":
             out.update({
                 "objective": self.objective,
@@ -295,7 +306,7 @@ class SolveService:
         self._stats = {
             "submitted": 0, "solves": 0, "cache_hits": 0, "coalesced": 0,
             "rejected": 0, "warm_starts": 0, "errors": 0, "completed": 0,
-            "shed": 0,
+            "shed": 0, "deltas": 0, "delta_base_hits": 0,
         }
         self._lane_depth: Dict[int, int] = {}
         self._threads: List[threading.Thread] = []
@@ -481,13 +492,17 @@ class SolveService:
         budget: Optional[Budget] = None,
         priority: int = 1,
         refine: bool = False,
+        _stale_partial: Optional[List[tuple]] = None,
+        _base_fingerprint: Optional[str] = None,
     ) -> ServiceTicket:
         """Submit a problem; returns a :class:`ServiceTicket`.
 
         ``refine=True`` skips the cache for non-optimal entries (the entry
         still warm-starts the solver); proven-optimal entries are always
         served from cache.  Raises :class:`RequestRejected` when admission
-        control refuses the request.
+        control refuses the request.  The underscore parameters are
+        :meth:`submit_delta`'s channel for repair state — attached to the
+        ticket before it can reach a worker.
         """
         solver_name = solver if solver is not None else self.default_solver
         try:
@@ -523,7 +538,9 @@ class SolveService:
             entry = self.store.lookup(fp)
             if entry is not None and (entry.optimal or not refine):
                 ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
-                                       solver_name, priority, pid_map=pid_map)
+                                       solver_name, priority, pid_map=pid_map,
+                                       stale_partial=_stale_partial,
+                                       base_fingerprint=_base_fingerprint)
                 ticket._resolve(entry, "cache_hit", time_seconds=0.0)
                 self._tickets[ticket.ticket_id] = ticket
                 self._stats["cache_hits"] += 1
@@ -537,7 +554,9 @@ class SolveService:
             inflight = self._inflight.get(fp)
             if inflight is not None:
                 ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
-                                       solver_name, priority, pid_map=pid_map)
+                                       solver_name, priority, pid_map=pid_map,
+                                       stale_partial=_stale_partial,
+                                       base_fingerprint=_base_fingerprint)
                 ticket.state = "queued"
                 inflight["followers"].append(ticket)
                 self._tickets[ticket.ticket_id] = ticket
@@ -556,7 +575,8 @@ class SolveService:
                     # itself runs outside the lock (below).
                     shed_ticket = ServiceTicket(
                         f"req-{next(self._ids)}", fp, solver_name,
-                        priority, pid_map=pid_map)
+                        priority, pid_map=pid_map,
+                        base_fingerprint=_base_fingerprint)
                     self._tickets[shed_ticket.ticket_id] = shed_ticket
                     self._stats["shed"] += 1
                 else:
@@ -568,7 +588,9 @@ class SolveService:
             if shed_ticket is None:
                 ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
                                        solver_name, priority,
-                                       pid_map=pid_map)
+                                       pid_map=pid_map,
+                                       stale_partial=_stale_partial,
+                                       base_fingerprint=_base_fingerprint)
                 self._tickets[ticket.ticket_id] = ticket
                 self._inflight[fp] = {"ticket": ticket, "followers": []}
                 heapq.heappush(
@@ -589,6 +611,53 @@ class SolveService:
         # the lock (it is fast, but must not serialize the queue).
         self._run_shed(shed_ticket, problem)
         return shed_ticket
+
+    def submit_delta(
+        self,
+        base_problem: CoSchedulingProblem,
+        problem: CoSchedulingProblem,
+        solver: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        priority: int = 1,
+        refine: bool = False,
+    ) -> ServiceTicket:
+        """Submit ``problem`` as a delta over ``base_problem``
+        (``POST /delta``).
+
+        The base schedule is resolved from the store by the *base*
+        problem's fingerprint; when present, the surviving machine groups
+        (:func:`repro.online.delta.partial_from_base`) ride on the ticket
+        and the worker runs the solver through the incremental repair
+        path.  On a base miss the request degrades to an ordinary
+        :meth:`submit` — correct, just not incremental.  ``solver``
+        defaults to ``"repair"`` (i.e. ``repair?base=hastar``); any
+        registry spec is accepted, but only ``repair`` specs use the
+        attached stale state.
+        """
+        from ..online.delta import match_delta, partial_from_base
+
+        solver_name = solver if solver is not None else "repair"
+        base_fp = problem_fingerprint(base_problem)
+        stale_partial = None
+        entry = self.store.peek(base_fp)
+        if entry is not None and entry.schedule.u == base_problem.u and sum(
+            len(g) for g in entry.schedule.groups
+        ) == base_problem.n:
+            base_schedule = schedule_from_canonical(
+                base_problem, entry.schedule)
+            delta = match_delta(base_problem, problem)
+            stale_partial = partial_from_base(base_schedule, delta)
+        with self._lock:
+            self._stats["deltas"] += 1
+            if stale_partial is not None:
+                self._stats["delta_base_hits"] += 1
+        self._emit("svc_delta", base_fingerprint=base_fp,
+                   base_hit=stale_partial is not None, solver=solver_name)
+        return self.submit(
+            problem, solver=solver_name, budget=budget, priority=priority,
+            refine=refine, _stale_partial=stale_partial,
+            _base_fingerprint=base_fp,
+        )
 
     def _run_shed(self, ticket: ServiceTicket,
                   problem: CoSchedulingProblem) -> None:
@@ -659,6 +728,15 @@ class SolveService:
                 solver = self.solver_factories[ticket.solver]()
                 result = solver.solve(problem, budget=budget,
                                       initial_schedule=warm_schedule)
+            elif (ticket.stale_partial is not None
+                    and parse_spec(ticket.solver).name == "repair"):
+                # Delta path: hand the base schedule's surviving groups to
+                # the repair solver (constructed per run — instances are
+                # not shared across tickets).
+                solver = create_solver(ticket.solver)
+                solver.stale_partial = ticket.stale_partial
+                result = run_solve(problem, solver, budget=budget,
+                                   warm_start=warm_schedule).result
             else:
                 result = run_solve(problem, ticket.solver, budget=budget,
                                    warm_start=warm_schedule).result

@@ -15,6 +15,18 @@ Three endpoints, all JSON:
     service is draining (see :meth:`SolveService.drain
     <repro.service.queue.SolveService.drain>`).
 
+``POST /delta``
+    Like ``/solve`` but incremental: the body carries both
+    ``base_problem`` (the previously solved instance) and ``problem``
+    (the perturbed roster).  The service resolves the base schedule from
+    its :class:`~repro.service.store.SolutionStore` by fingerprint and
+    routes the solve through the registry's ``repair`` solver (see
+    :meth:`SolveService.submit_delta
+    <repro.service.queue.SolveService.submit_delta>` and
+    ``docs/ONLINE.md``).  Same reply shapes and error mapping as
+    ``/solve``; the ticket document additionally reports
+    ``base_fingerprint`` and ``base_hit``.
+
 ``GET /status/<id>``
     The ticket's :meth:`~repro.service.queue.ServiceTicket.to_dict`
     (404 for unknown ids).
@@ -115,7 +127,7 @@ class _Handler(BaseHTTPRequestHandler):
                           "detail": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        if self.path != "/solve":
+        if self.path not in ("/solve", "/delta"):
             self._drain_body()
             self._reply(404, {"error": "not_found",
                               "detail": f"no route {self.path!r}"})
@@ -125,6 +137,9 @@ class _Handler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length", 0))
             doc = json.loads(self.rfile.read(length) or b"{}")
             problem = problem_from_dict(doc["problem"])
+            base_problem = None
+            if self.path == "/delta":
+                base_problem = problem_from_dict(doc["base_problem"])
             budget = _budget_from_dict(doc.get("budget"))
             wait = float(doc.get("wait", 0.0))
             priority = int(doc.get("priority", 1))
@@ -134,8 +149,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(400, {"error": "bad_request", "detail": str(exc)})
             return
         try:
-            ticket = service.submit(problem, solver=solver, budget=budget,
-                                    priority=priority, refine=refine)
+            if base_problem is not None:
+                ticket = service.submit_delta(
+                    base_problem, problem, solver=solver, budget=budget,
+                    priority=priority, refine=refine)
+            else:
+                ticket = service.submit(problem, solver=solver, budget=budget,
+                                        priority=priority, refine=refine)
         except RequestRejected as exc:
             if exc.reason == "draining":
                 # Graceful drain: tell clients when to come back rather

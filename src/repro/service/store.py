@@ -180,8 +180,11 @@ class SolutionStore:
     def compact(self) -> None:
         """Fold the backend's durable state down to the live entries.
 
-        Only meaningful for log-structured backends; run while quiescent
-        (see the drain/restart runbook in ``docs/DEPLOYMENT.md``).
+        Only meaningful for log-structured backends.  Safe against
+        concurrent appenders (the backend merges the log and only
+        truncates when nothing new landed), but the log only actually
+        shrinks while quiescent — see the drain/restart runbook in
+        ``docs/DEPLOYMENT.md``.
         """
         with self._lock:
             entries = list(self._entries.values())

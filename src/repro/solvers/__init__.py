@@ -13,6 +13,7 @@ from .ip_scipy import ScipyMILP
 from .local_search import SimulatedAnnealing, SwapHillClimber
 from .oastar import OAStar
 from .osvp import OSVP
+from .repair import RepairSolver
 from .simplex import LPResult, simplex_solve
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "SwapHillClimber",
     "OAStar",
     "OSVP",
+    "RepairSolver",
     "LPResult",
     "simplex_solve",
 ]

@@ -38,14 +38,22 @@ class SwapHillClimber(Solver):
     ``start`` picks the initial schedule: ``"greedy"`` (PG, default) or
     ``"sequential"``.  Each pass evaluates every cross-machine swap;
     termination is a swap-local optimum.
+
+    ``seed`` (``hill?seed=7`` through the registry) shuffles the
+    machine-pair scan order once per pass with a private
+    ``random.Random(seed)`` — runs are then deterministic for a given
+    seed but explore swaps in a different order per seed, which is what
+    the replay benchmarks need for run-to-run reproducibility.  ``None``
+    (the default) keeps the historical ascending scan.
     """
 
     def __init__(self, start: str = "greedy", max_passes: int = 50,
-                 name: Optional[str] = None):
+                 seed: Optional[int] = None, name: Optional[str] = None):
         if start not in ("greedy", "sequential"):
             raise ValueError("start must be 'greedy' or 'sequential'")
         self.start = start
         self.max_passes = max_passes
+        self.seed = seed
         self.name = name or f"hill-climb({start})"
 
     def _initial(self, problem: CoSchedulingProblem) -> List[List[int]]:
@@ -68,39 +76,40 @@ class SwapHillClimber(Solver):
         passes = 0
         improved = True
         stopped = None
+        rng = random.Random(self.seed) if self.seed is not None else None
+        pairs = [(a, b) for a in range(m) for b in range(a + 1, m)]
         while improved and passes < self.max_passes and stopped is None:
             improved = False
             passes += 1
-            for a in range(m):
-                for b in range(a + 1, m):
-                    for i in range(u):
-                        for j in range(u):
-                            if budget.exhausted() is not None:
-                                # The working groups are always a valid
-                                # schedule at least as good as the start.
-                                stopped = budget.stop_reason
-                                break
+            if rng is not None:
+                rng.shuffle(pairs)
+            for a, b in pairs:
+                for i in range(u):
+                    for j in range(u):
+                        if budget.exhausted() is not None:
+                            # The working groups are always a valid
+                            # schedule at least as good as the start.
+                            stopped = budget.stop_reason
+                            break
+                        groups[a][i], groups[b][j] = (
+                            groups[b][j], groups[a][i],
+                        )
+                        obj = _objective_of_groups(problem, groups)
+                        evaluations += 1
+                        budget.charge()
+                        if obj < best - 1e-12:
+                            best = obj
+                            improved = True
+                            if tracer is not None:
+                                tracer.emit(
+                                    "incumbent", solver=self.name,
+                                    objective=best,
+                                    evaluations=evaluations,
+                                )
+                        else:
                             groups[a][i], groups[b][j] = (
                                 groups[b][j], groups[a][i],
                             )
-                            obj = _objective_of_groups(problem, groups)
-                            evaluations += 1
-                            budget.charge()
-                            if obj < best - 1e-12:
-                                best = obj
-                                improved = True
-                                if tracer is not None:
-                                    tracer.emit(
-                                        "incumbent", solver=self.name,
-                                        objective=best,
-                                        evaluations=evaluations,
-                                    )
-                            else:
-                                groups[a][i], groups[b][j] = (
-                                    groups[b][j], groups[a][i],
-                                )
-                        if stopped is not None:
-                            break
                     if stopped is not None:
                         break
                 if stopped is not None:

@@ -1,0 +1,130 @@
+"""Content-descriptor delta matching between problem instances."""
+
+import pytest
+
+from repro.online import (
+    ProblemSession,
+    group_fingerprint,
+    job_descriptors,
+    match_delta,
+    partial_from_base,
+)
+
+
+def _session(names_rates):
+    return ProblemSession(jobs=names_rates)
+
+
+def _problem(names_rates):
+    return _session(names_rates).build_problem()
+
+
+BASE = [(f"j{i}", 0.2 + 0.05 * i) for i in range(8)]
+
+
+def test_identical_problems_match_everything():
+    a = _problem(BASE)
+    b = _problem(BASE)
+    delta = match_delta(a, b)
+    assert not delta.arrivals and not delta.departures
+    assert delta.n_survivors == a.n
+    # Identity map: same construction order gives same pids.
+    assert all(new == old for new, old in delta.survivors.items())
+
+
+def test_arrival_and_departure_are_detected():
+    a = _problem(BASE)
+    changed = [(n, r) for n, r in BASE if n != "j3"] + [("newjob", 0.6)]
+    b = _problem(changed)
+    delta = match_delta(a, b)
+    assert len(delta.arrivals) == 1
+    assert len(delta.departures) == 1
+    assert delta.n_survivors == len(BASE) - 1
+
+
+def test_update_is_depart_plus_arrive():
+    a = _problem(BASE)
+    changed = [(n, 0.71 if n == "j2" else r) for n, r in BASE]
+    b = _problem(changed)
+    delta = match_delta(a, b)
+    # The changed profile no longer matches its old descriptor.
+    assert len(delta.arrivals) == 1 and len(delta.departures) == 1
+
+
+def test_matching_is_content_based_not_name_based():
+    """Two jobs with identical profiles are interchangeable (paper
+    Sec. III-E): renaming them changes nothing the descriptors can see."""
+    a = _problem([("x", 0.3), ("y", 0.3), ("z", 0.5), ("w", 0.6)])
+    b = _problem([("y", 0.3), ("x", 0.3), ("z", 0.5), ("w", 0.6)])
+    delta = match_delta(a, b)
+    assert not delta.arrivals and not delta.departures
+    assert delta.n_survivors == 4
+
+
+def test_job_descriptors_distinguish_rates():
+    p = _problem([("a", 0.3), ("b", 0.4), ("c", 0.3), ("d", 0.5)])
+    descs = job_descriptors(p)
+    assert len(descs) == 4
+    assert descs[0] == descs[2]  # same 0.3 profile
+    assert descs[0] != descs[1]
+
+
+def test_partial_from_base_keeps_surviving_fragments():
+    s = _session(BASE)
+    s.solve()
+    base_problem, base_schedule = s.problem, s.schedule
+    s.depart("j5")
+    s.arrive("k", 0.66)
+    delta = match_delta(base_problem, s.build_problem())
+    partial = partial_from_base(base_schedule, delta)
+    u = s.cluster.cores
+    kept = {pid for group in partial for pid in group}
+    # Every kept pid is a survivor, groups never exceed u, and the
+    # departed job's machine survives only as a fragment.
+    assert kept <= set(delta.survivors)
+    assert all(len(g) <= u for g in partial)
+    assert sum(len(g) == u for g in partial) >= 1
+
+
+def test_group_fingerprint_stable_under_relabeling():
+    a = _problem([("x", 0.3), ("y", 0.4), ("z", 0.5), ("w", 0.6)])
+    # Reversed arrival order: pids permute, content does not.
+    b = _problem([("w", 0.6), ("z", 0.5), ("y", 0.4), ("x", 0.3)])
+    fa = group_fingerprint(a, (0, 1, 2, 3))
+    fb = group_fingerprint(b, (3, 2, 1, 0))
+    assert fa == fb
+    assert group_fingerprint(a, (0, 1)) != fa
+
+
+def test_peek_delta_reflects_pending_churn():
+    s = _session(BASE)
+    assert s.peek_delta() is None  # nothing solved yet
+    s.solve()
+    d0 = s.peek_delta()
+    assert d0.n_survivors == len(BASE)
+    s.arrive("fresh", 0.42)
+    d1 = s.peek_delta()
+    assert len(d1.arrivals) == 1
+
+
+def test_delta_counts_add_up():
+    a = _problem(BASE)
+    changed = BASE[:4] + [("p", 0.61), ("q", 0.62), ("r", 0.63), ("s", 0.64)]
+    b = _problem(changed)
+    delta = match_delta(a, b)
+    assert delta.n_survivors + len(delta.arrivals) == b.workload.n_real
+    assert delta.n_survivors + len(delta.departures) == a.workload.n_real
+
+
+def test_session_rejects_bad_events():
+    s = _session(BASE)
+    with pytest.raises(ValueError):
+        s.arrive("j0", 0.3)  # duplicate
+    with pytest.raises(ValueError):
+        s.arrive("ok", 1.5)  # rate out of range
+    with pytest.raises(KeyError):
+        s.depart("ghost")
+    with pytest.raises(KeyError):
+        s.update("ghost", 0.2)
+    with pytest.raises(ValueError):
+        s.apply({"op": "explode", "name": "j0"})

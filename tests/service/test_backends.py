@@ -61,18 +61,121 @@ def test_compact_moves_state_to_snapshot(tmp_path):
         backend.append(e)
     backend.compact(entries[:2])  # e.g. one entry was evicted
 
-    # Log truncated, snapshot carries the folded state.
+    # Log truncated (quiescent), snapshot carries the folded state —
+    # including the entry the caller's in-memory view had evicted, which
+    # was still durable in the log and survives through the merge.
     assert os.path.getsize(path) == 0
     assert os.path.exists(path + ".snap")
     replayed = list(backend.replay())
-    assert len(replayed) == 2
+    assert len(replayed) == 3
+    assert {e.fingerprint for e in replayed} == {
+        e.fingerprint for e in entries
+    }
     # Appends after compaction go to the (fresh) log and replay after
     # the snapshot.
-    backend.append(entries[2])
+    extra = _entry(4)
+    backend.append(extra)
     backend.close()
-    assert len(list(AppendLogBackend(path).replay())) == 3
+    assert len(list(AppendLogBackend(path).replay())) == 4
     sizes = backend.sizes()
     assert sizes["log_bytes"] > 0 and sizes["snapshot_bytes"] > 0
+
+
+def test_compact_merge_is_monotone(tmp_path):
+    """A stale (worse) caller entry cannot clobber a better logged one."""
+    path = str(tmp_path / "memo.jsonl")
+    backend = AppendLogBackend(path)
+    e = _entry(5)
+    worse = StoreEntry(e.fingerprint, e.schedule, e.objective + 10.0,
+                       "pg", False)
+    backend.append(e)
+    backend.compact([worse])
+    backend.close()
+    replayed = list(AppendLogBackend(path).replay())
+    assert len(replayed) == 1
+    assert replayed[0].objective == pytest.approx(e.objective)
+
+
+def test_append_racing_compaction_survives(tmp_path, monkeypatch):
+    """An append landing between compaction's log read and its truncate
+    check (another shard process mid-solve) must survive replay."""
+    path = str(tmp_path / "memo.jsonl")
+    a = AppendLogBackend(path)
+    b = AppendLogBackend(path)
+    e1, late = _entry(1), _entry(2)
+    a.append(e1)
+    orig = a._read_complete_log
+
+    def read_then_race():
+        result = orig()
+        b.append(late)  # lands inside the compaction window
+        return result
+
+    monkeypatch.setattr(a, "_read_complete_log", read_then_race)
+    a.compact([e1])
+    a.close()
+    b.close()
+    # The racing append was not folded into the snapshot, so the log must
+    # not have been truncated; replay sees both entries.
+    assert os.path.getsize(path) > 0
+    fps = {e.fingerprint for e in AppendLogBackend(path).replay()}
+    assert fps == {e1.fingerprint, late.fingerprint}
+
+
+def test_concurrent_append_hammer_survives_compactions(tmp_path):
+    """Threads appending while compaction runs repeatedly: every entry is
+    durable afterwards, and a final quiescent compaction still shrinks
+    the log to nothing."""
+    import threading
+
+    path = str(tmp_path / "memo.jsonl")
+    backend = AppendLogBackend(path)
+    entries = [_entry(i) for i in range(8)]
+    barrier = threading.Barrier(3)
+
+    def writer(chunk):
+        barrier.wait()
+        for e in chunk:
+            backend.append(e)
+
+    threads = [
+        threading.Thread(target=writer, args=(entries[i::2],))
+        for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    for _ in range(5):
+        backend.compact([])  # compactor with an empty in-memory view
+    for t in threads:
+        t.join()
+    backend.compact([])
+    backend.close()
+    assert os.path.getsize(path) == 0  # quiescent at the end: truncated
+    fps = {e.fingerprint for e in AppendLogBackend(path).replay()}
+    assert fps == {e.fingerprint for e in entries}
+
+
+def test_compact_preserves_torn_tail(tmp_path):
+    """A crash's torn tail in the log blocks truncation but not the
+    snapshot; replay keeps tolerating it afterwards."""
+    path = str(tmp_path / "memo.jsonl")
+    backend = AppendLogBackend(path)
+    e1, e2 = _entry(1), _entry(2)
+    backend.append(e1)
+    backend.append(e2)
+    backend.close()
+    with open(path, "r", encoding="utf-8") as fh:
+        data = fh.read()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(data[: len(data) - len(data.splitlines()[-1]) // 2 - 1])
+
+    fresh = AppendLogBackend(path)
+    fresh.compact([])
+    fresh.close()
+    assert os.path.getsize(path) > 0  # torn bytes kept in place
+    replayed = {e.fingerprint for e in AppendLogBackend(path).replay()}
+    assert replayed == {e1.fingerprint}
 
 
 def test_replay_recovers_from_crash_truncated_tail(tmp_path):
