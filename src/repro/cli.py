@@ -213,9 +213,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.trajectory:
         rows = bench.trajectory(args.results_dir)
         if not rows:
-            print(f"no valid BENCH_*.json under {args.results_dir}",
+            # An empty history is a fresh checkout, not an error: report
+            # it plainly and point at the command that starts one.
+            print(f"no bench history yet: no valid BENCH_*.json under "
+                  f"{args.results_dir} (run `cosched bench --out "
+                  f"{args.results_dir}/BENCH_<rev>.json` to start one)",
                   file=sys.stderr)
-            return 1
+            return 0
         if args.out:
             import json
 
@@ -274,6 +278,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"mean regret {online['mean_regret']:.4f}, "
               f"never worse than greedy: "
               f"{online['never_worse_than_greedy']}", file=sys.stderr)
+    evolve = doc.get("evolve")
+    if evolve:
+        for point in evolve["points"]:
+            med = point["median"]
+            print(f"  evolve n={point['n']} "
+                  f"wall={point['wall_budget_s']}s: "
+                  f"genetic {med['genetic']:.6f}  "
+                  f"hill {med['hill']:.6f}  "
+                  f"anneal {med['anneal']:.6f}  "
+                  f"pg {med['pg']:.6f}", file=sys.stderr)
+        print(f"  evolve flags: never_worse_than_pg="
+              f"{evolve['genetic_never_worse_than_pg']} "
+              f"beats_anneal={evolve['genetic_beats_anneal']} "
+              f"beats_hill={evolve['genetic_beats_hill']}",
+              file=sys.stderr)
     if doc["baseline"] is not None:
         base = doc["baseline"]
         print(f"  vs baseline {base['revision']}: "

@@ -1,0 +1,43 @@
+"""Population-based memetic search for the large-n regime.
+
+HA* quality degrades and exact search blows up past n ~ 32 — exactly the
+high-throughput workloads (Aupy et al.) where a portfolio needs a member
+that keeps *improving* under a wall budget instead of stalling at a
+swap-local optimum.  :class:`GeneticSolver` is that member: the genome is
+the machine-group partition itself, fitness for a whole population is one
+``node_weights_batch`` call (the native kernel backend when available),
+crossover swaps whole co-run groups between parents, elites are polished
+by :class:`~repro.solvers.local_search.SwapHillClimber` passes, and
+sub-populations evolve on islands distributed across worker processes
+through the ``repro.perf`` shared-memory machinery.
+
+Reachable from every surface through the registry as ``genetic``
+(aliases ``ga``/``evolve``/``memetic``)::
+
+    cosched solve --solver 'genetic?pop=64&islands=4&seed=7' BT CG ...
+    POST /solve   {"solver": "genetic?seed=7", ...}
+    portfolio?members=genetic,hastar
+    repair?base=genetic
+
+Operator guide: ``docs/EVOLVE.md``.
+"""
+
+from .engine import evolve_generations, population_objectives, separable_objective
+from .genome import EvolveConfig, crossover, genome_to_groups, groups_to_genome, mutate, random_population
+from .islands import IslandRunner, migrate_ring
+from .solver import GeneticSolver
+
+__all__ = [
+    "EvolveConfig",
+    "GeneticSolver",
+    "IslandRunner",
+    "crossover",
+    "evolve_generations",
+    "genome_to_groups",
+    "groups_to_genome",
+    "migrate_ring",
+    "mutate",
+    "population_objectives",
+    "random_population",
+    "separable_objective",
+]

@@ -1,0 +1,181 @@
+"""The generation engine: batched fitness and the evolve loop.
+
+This module is the *only* place generations happen — the sequential path
+and the island worker processes (:mod:`repro.evolve.islands`) both call
+:func:`evolve_generations`, which is what makes ``genetic?seed=7``
+reproduce identical trajectories across ``--workers`` values.
+
+Fitness is the big win over per-individual objective calls: for serial
+workloads (the paper's Eq. 6 sum objective) the objective of an
+individual is exactly the sum of its machines' node weights, so one
+:meth:`~repro.core.problem.CoSchedulingProblem.node_weights_batch` call
+scores ``P * m`` machine groups per generation through the vectorized
+model kernel (native backend when available) and the cross-generation
+node-weight memo.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.objective import evaluate_schedule
+from ..core.problem import CoSchedulingProblem
+from ..core.schedule import CoSchedule
+from .genome import (
+    EvolveConfig,
+    crossover,
+    genome_to_groups,
+    groups_to_genome,
+    mutate,
+)
+
+__all__ = [
+    "evolve_generations",
+    "population_objectives",
+    "separable_objective",
+]
+
+
+def separable_objective(problem: CoSchedulingProblem) -> bool:
+    """True when the objective equals the sum of machine node weights.
+
+    Holds for serial-only workloads, imaginary padding included (padded
+    pids degrade by 0 on both paths).  Parallel jobs (PE/PC) aggregate
+    per-job by a max over members, so they take the scalar fallback in
+    :func:`population_objectives`.
+    """
+    return not problem.workload.parallel_jobs
+
+
+def population_objectives(problem: CoSchedulingProblem, pop: np.ndarray,
+                          memo: bool = True) -> np.ndarray:
+    """Objective of every individual in a ``(P, m, u)`` population.
+
+    Separable problems score through one ``node_weights_batch`` call;
+    anything else falls back to per-individual
+    :func:`~repro.core.objective.evaluate_schedule` (correct for the
+    parallel-job max semantics, just not vectorized).  Either way the
+    values agree with the ground-truth evaluator to round-off, which the
+    :class:`~repro.solvers.base.Solver` base class asserts on return.
+    """
+    P, m, u = pop.shape
+    if separable_objective(problem):
+        rows = np.sort(pop.reshape(P * m, u), axis=1)
+        nodes = [tuple(int(p) for p in row) for row in rows]
+        weights = problem.node_weights_batch(nodes, memo=memo)
+        return weights.reshape(P, m).sum(axis=1)
+    out = np.empty(P, dtype=float)
+    for i in range(P):
+        sched = CoSchedule.from_groups(genome_to_groups(pop[i]), u=u,
+                                       n=problem.n)
+        out[i] = evaluate_schedule(problem, sched).objective
+    return out
+
+
+def _tournament(fit: np.ndarray, rng: np.random.Generator, k: int) -> int:
+    """Index of the fittest of ``k`` uniformly-drawn contenders."""
+    pool = rng.integers(0, len(fit), size=max(1, min(k, len(fit))))
+    return int(pool[np.argmin(fit[pool])])
+
+
+def _refine_elites(problem: CoSchedulingProblem, pop: np.ndarray,
+                   fit: np.ndarray, rng: np.random.Generator,
+                   cfg: EvolveConfig,
+                   deadline: Optional[float]) -> int:
+    """Memetic step: one bounded SwapHillClimber pass per leading elite.
+
+    Returns the number of schedule evaluations spent.  The climber is
+    warm-started from the elite and capped at ``cfg.memetic_evals`` weight
+    evaluations, so refinement cost is bounded per generation; its seed is
+    drawn from the island RNG, keeping the whole trajectory a pure
+    function of the solver seed.
+    """
+    if cfg.memetic <= 0 or cfg.memetic_evals <= 0:
+        return 0
+    m, u = pop.shape[1], pop.shape[2]
+    if m < 2:
+        return 0
+    from ..solvers.budget import Budget
+    from ..solvers.local_search import SwapHillClimber
+
+    evaluations = 0
+    for row in range(min(cfg.memetic, len(pop))):
+        wall = None
+        if deadline is not None:
+            wall = max(0.0, deadline - time.perf_counter())
+            if wall == 0.0:
+                break
+        climber = SwapHillClimber(
+            max_passes=1,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            name="memetic-hill",
+        )
+        start = CoSchedule.from_groups(genome_to_groups(pop[row]), u=u,
+                                       n=problem.n)
+        result = climber.solve(
+            problem,
+            budget=Budget(wall_time=wall, max_expanded=cfg.memetic_evals),
+            initial_schedule=start,
+        )
+        evaluations += int(result.stats.get("evaluations", 1))
+        if result.objective < fit[row] - 1e-12:
+            pop[row] = groups_to_genome(result.schedule.groups)
+            fit[row] = result.objective
+    return evaluations
+
+
+def evolve_generations(
+    problem: CoSchedulingProblem,
+    pop: np.ndarray,
+    fit: np.ndarray,
+    rng: np.random.Generator,
+    generations: int,
+    cfg: EvolveConfig,
+    deadline: Optional[float] = None,
+) -> Dict[str, object]:
+    """Advance one island ``generations`` steps, in place.
+
+    ``pop`` (``(P, m, u)``) and ``fit`` (``(P,)``) are mutated; on return
+    they are sorted ascending by fitness (best individual first — the
+    postcondition migration relies on).  Only the wall ``deadline`` is
+    polled here; node/eval budgets are charged by the caller at epoch
+    boundaries, so budgeted trajectories are identical whether an epoch
+    ran in process or on a worker.
+
+    Returns ``{"history": [...], "evaluations": int}`` where history has
+    one ``{"generation", "best", "mean"}`` row per completed generation.
+    """
+    P = pop.shape[0]
+    evaluations = 0
+    history: List[Dict[str, float]] = []
+    elites = min(max(1, cfg.elites), P - 1) if P > 1 else P
+    order = np.argsort(fit, kind="stable")
+    pop[:] = pop[order]
+    fit[:] = fit[order]
+    for gen in range(generations):
+        if deadline is not None and time.perf_counter() >= deadline:
+            break
+        evaluations += _refine_elites(problem, pop, fit, rng, cfg, deadline)
+        parents = pop.copy()
+        parent_fit = fit.copy()
+        for slot in range(elites, P):
+            pa = _tournament(parent_fit, rng, cfg.tournament)
+            pb = _tournament(parent_fit, rng, cfg.tournament)
+            child = crossover(parents[pa], parents[pb], rng)
+            mutate(child, rng, cfg.mutation)
+            pop[slot] = child
+        if P > elites:
+            fit[elites:] = population_objectives(problem, pop[elites:])
+            evaluations += P - elites
+        order = np.argsort(fit, kind="stable")
+        pop[:] = pop[order]
+        fit[:] = fit[order]
+        history.append({
+            "generation": gen,
+            "best": float(fit[0]),
+            "mean": float(fit.mean()),
+        })
+    return {"history": history, "evaluations": evaluations}

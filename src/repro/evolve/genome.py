@@ -1,0 +1,111 @@
+"""Genome representation and variation operators.
+
+The genome *is* the machine-group partition: an ``(m, u)`` integer array
+whose row ``k`` lists the pids co-located on machine ``k``.  Row order and
+within-row order are irrelevant to the objective
+(:meth:`~repro.core.schedule.CoSchedule.from_groups` canonicalizes both),
+so the operators work on raw arrays and only canonicalize when a genome
+crosses into schedule land.
+
+Every operator draws from a caller-supplied ``numpy.random.Generator`` —
+the solver derives one per island via ``SeedSequence.spawn`` so runs are
+reproducible for a given seed regardless of worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = [
+    "EvolveConfig",
+    "crossover",
+    "genome_to_groups",
+    "groups_to_genome",
+    "mutate",
+    "random_population",
+]
+
+
+@dataclass(frozen=True)
+class EvolveConfig:
+    """The per-generation knobs, bundled so one picklable object crosses
+    IPC to island workers (see :mod:`repro.evolve.islands`)."""
+
+    #: Individuals copied verbatim into the next generation.
+    elites: int = 2
+    #: Tournament size for parent selection (1 = uniform random).
+    tournament: int = 3
+    #: Expected fraction of machines disturbed by mutation swaps.
+    mutation: float = 0.3
+    #: Leading elites refined by a SwapHillClimber pass each generation.
+    memetic: int = 1
+    #: Weight-evaluation cap per refinement pass (0 disables refinement).
+    memetic_evals: int = 48
+
+
+def groups_to_genome(groups: Iterable[Iterable[int]]) -> np.ndarray:
+    """Machine groups (any iterable-of-iterables) as an ``(m, u)`` array."""
+    return np.array([list(g) for g in groups], dtype=np.intp)
+
+
+def genome_to_groups(genome: np.ndarray) -> List[List[int]]:
+    """The genome as plain ``list``-of-``list`` groups (native ints, so
+    downstream tuples hash/compare like the rest of the repo's nodes)."""
+    return [[int(p) for p in row] for row in genome]
+
+
+def random_population(count: int, m: int, u: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """``count`` uniform random partitions as a ``(count, m, u)`` array."""
+    pop = np.empty((count, m, u), dtype=np.intp)
+    for i in range(count):
+        pop[i] = rng.permutation(m * u).reshape(m, u)
+    return pop
+
+
+def crossover(a: np.ndarray, b: np.ndarray,
+              rng: np.random.Generator) -> np.ndarray:
+    """Machine-level crossover: whole co-run groups from both parents.
+
+    The child inherits ``k`` randomly-chosen complete machine groups from
+    parent ``a`` (their co-location structure intact), then repairs the
+    duplicate/hole damage by scanning parent ``b``'s flattened placement
+    in order and packing the still-unassigned pids into the remaining
+    ``m - k`` machines — so the leftover machines preserve as much of
+    ``b``'s co-location structure as survives the overlap.  The result is
+    a valid partition by construction; no repair pass is needed.
+    """
+    m, u = a.shape
+    if m < 2:
+        return a.copy()
+    k = int(rng.integers(1, m))
+    keep = rng.choice(m, size=k, replace=False)
+    kept = a[keep]
+    assigned = np.zeros(m * u, dtype=bool)
+    assigned[kept.ravel()] = True
+    b_flat = b.ravel()
+    rest = b_flat[~assigned[b_flat]]
+    child = np.empty((m, u), dtype=np.intp)
+    child[:k] = kept
+    child[k:] = rest.reshape(m - k, u)
+    return child
+
+
+def mutate(genome: np.ndarray, rng: np.random.Generator,
+           rate: float) -> None:
+    """In-place mutation: cross-machine pid swaps (the shape-preserving
+    move shared with the local-search neighbourhood).  The swap count is
+    ``1 + Binomial(m - 1, rate)`` — always at least one, scaling with the
+    machine count so large instances keep exploring."""
+    m, u = genome.shape
+    if m < 2:
+        return
+    swaps = 1 + int(rng.binomial(m - 1, min(max(rate, 0.0), 1.0)))
+    for _ in range(swaps):
+        a, b = rng.choice(m, size=2, replace=False)
+        i = int(rng.integers(u))
+        j = int(rng.integers(u))
+        genome[a, i], genome[b, j] = genome[b, j], genome[a, i]

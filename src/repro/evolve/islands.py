@@ -1,0 +1,256 @@
+"""Island-model distribution of the genetic population.
+
+Sub-populations evolve independently for one *epoch* (``migrate_every``
+generations) at a time; between epochs the parent process migrates elites
+around the island ring (:func:`migrate_ring`).  Epochs run across a
+worker pool when ``workers > 1``, reusing the ``repro.perf``
+shared-memory machinery: the ``(K, P, m, u)`` genome tensor and the
+``(K, P)`` fitness matrix live in named segments created through
+:meth:`ParallelLevelScorer._create_segment` (registered for the module's
+atexit safety net, released on every path), workers attach by name and
+evolve their island's slice in place — the only pickled payload per task
+is two segment names, a shape, and the island's RNG state.
+
+Failure is never fatal: if the pool cannot be created, the problem cannot
+be pickled, or workers die mid-epoch, the runner flips to the sequential
+path for the rest of the solve.  Results are unchanged either way — both
+paths run the same :func:`~repro.evolve.engine.evolve_generations` on the
+same RNG streams.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import pickle
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.problem import CoSchedulingProblem
+from ..perf.parallel_expand import ParallelLevelScorer
+from .engine import evolve_generations
+from .genome import EvolveConfig
+
+__all__ = ["IslandRunner", "migrate_ring"]
+
+_WORKER_PROBLEM: Optional[CoSchedulingProblem] = None
+
+
+def _init_island_worker(problem: CoSchedulingProblem) -> None:
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = problem
+
+
+def _evolve_island_span(
+    pop_name: str,
+    fit_name: str,
+    shape: Tuple[int, int, int, int],
+    island: int,
+    generations: int,
+    cfg: EvolveConfig,
+    rng_bytes: bytes,
+    wall_remaining: Optional[float],
+) -> Tuple[int, bytes, Dict[str, object]]:
+    """Run one island's epoch against the shared segments, in place.
+
+    Attaches to both segments by name, evolves the island's slice with a
+    zero-copy view, and returns only the island index, the advanced RNG
+    state and the engine report — the genomes themselves never cross the
+    IPC pipe.
+    """
+    from multiprocessing import shared_memory
+
+    assert _WORKER_PROBLEM is not None
+    counters = _WORKER_PROBLEM.counters
+    evals_before = (counters.count("node_weight_scalar")
+                    + counters.count("node_weight_batched"))
+    rng: np.random.Generator = pickle.loads(rng_bytes)
+    deadline = None
+    if wall_remaining is not None:
+        deadline = time.perf_counter() + wall_remaining
+    shm_pop = shared_memory.SharedMemory(name=pop_name)
+    try:
+        shm_fit = shared_memory.SharedMemory(name=fit_name)
+        try:
+            pops = np.ndarray(shape, dtype=np.intp, buffer=shm_pop.buf)
+            fits = np.ndarray(shape[:2], dtype=np.float64,
+                              buffer=shm_fit.buf)
+            report = evolve_generations(
+                _WORKER_PROBLEM, pops[island], fits[island], rng,
+                generations, cfg, deadline=deadline,
+            )
+        finally:
+            shm_fit.close()
+    finally:
+        shm_pop.close()
+    # Weight evaluations happened against the *worker's* counters; report
+    # the delta so the parent can mirror it into its own accounting (the
+    # max_weight_evals budget currency reads the parent counters).
+    report["weight_evals"] = (
+        counters.count("node_weight_scalar")
+        + counters.count("node_weight_batched")
+        - evals_before
+    )
+    return island, pickle.dumps(rng), report
+
+
+def migrate_ring(pops: np.ndarray, fits: np.ndarray, migrants: int) -> int:
+    """Clone each island's leading elites over its right neighbour's tail.
+
+    Expects every island sorted ascending by fitness (the engine's
+    postcondition).  Sources are snapshotted first so a migrant is the
+    island's *own* elite, never one that just arrived from upstream.
+    Returns how many replaced individuals were strictly improved.
+    """
+    K, P = fits.shape
+    migrants = max(0, min(int(migrants), P // 2))
+    if K < 2 or migrants == 0:
+        return 0
+    top_pop = pops[:, :migrants].copy()
+    top_fit = fits[:, :migrants].copy()
+    improved = 0
+    for k in range(K):
+        dst = (k + 1) % K
+        for r in range(migrants):
+            slot = P - migrants + r
+            if top_fit[k, r] < fits[dst, slot] - 1e-12:
+                improved += 1
+            pops[dst, slot] = top_pop[k, r]
+            fits[dst, slot] = top_fit[k, r]
+    return improved
+
+
+class IslandRunner:
+    """Run island epochs, across a worker pool when ``workers > 1``.
+
+    The pool is spawned lazily on the first pooled epoch and lives for
+    the runner's lifetime; :meth:`close` releases it (idempotent).  Each
+    worker holds a clean copy of the problem — same workload/cluster/
+    models, fresh memo and counters — installed once by the pool
+    initializer, so per-epoch tasks stay tiny.
+    """
+
+    def __init__(self, problem: CoSchedulingProblem, workers: int = 1):
+        self.problem = problem
+        self.workers = max(1, int(workers))
+        self._pool: Optional[cf.ProcessPoolExecutor] = None
+        self._broken = False
+        #: Whether the most recent :meth:`run_epoch` used the pool — the
+        #: solver mirrors worker-side weight evaluations into the parent
+        #: counters only in that case.
+        self.last_epoch_pooled = False
+
+    # ------------------------------------------------------------------ #
+
+    def _worker_problem(self) -> CoSchedulingProblem:
+        p = self.problem
+        # A fresh instance for pickling: shares the (picklable) models but
+        # not the parent's memo dicts, counters or attached tracer.
+        return CoSchedulingProblem(p.workload, p.cluster, p.model, p.comm,
+                                   p.node_extra_cost)
+
+    def _ensure_pool(self) -> cf.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = cf.ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_island_worker,
+                initargs=(self._worker_problem(),),
+            )
+        return self._pool
+
+    def run_epoch(
+        self,
+        pops: np.ndarray,
+        fits: np.ndarray,
+        rngs: List[np.random.Generator],
+        generations: int,
+        cfg: EvolveConfig,
+        wall_remaining: Optional[float] = None,
+    ) -> List[Dict[str, object]]:
+        """Advance every island ``generations`` steps; one report each.
+
+        ``pops`` (``(K, P, m, u)``) and ``fits`` (``(K, P)``) are mutated
+        in place; ``rngs`` entries are advanced (the pooled path
+        round-trips them through pickle, which preserves the stream
+        bit-for-bit — the basis of cross-worker determinism).
+        """
+        K = pops.shape[0]
+        self.last_epoch_pooled = False
+        if self.workers > 1 and K > 1 and not self._broken:
+            try:
+                reports = self._run_epoch_pooled(
+                    pops, fits, rngs, generations, cfg, wall_remaining)
+                self.last_epoch_pooled = True
+                return reports
+            except (cf.process.BrokenProcessPool, OSError, ValueError,
+                    pickle.PicklingError):
+                self._broken = True
+                self._shutdown_pool()
+        deadline = None
+        if wall_remaining is not None:
+            deadline = time.perf_counter() + wall_remaining
+        return [
+            evolve_generations(self.problem, pops[k], fits[k], rngs[k],
+                               generations, cfg, deadline=deadline)
+            for k in range(K)
+        ]
+
+    def _run_epoch_pooled(
+        self,
+        pops: np.ndarray,
+        fits: np.ndarray,
+        rngs: List[np.random.Generator],
+        generations: int,
+        cfg: EvolveConfig,
+        wall_remaining: Optional[float],
+    ) -> List[Dict[str, object]]:
+        pool = self._ensure_pool()
+        K = pops.shape[0]
+        shm_pop = shm_fit = None
+        try:
+            shm_pop = ParallelLevelScorer._create_segment(pops.nbytes)
+            shm_fit = ParallelLevelScorer._create_segment(fits.nbytes)
+            shared_pops = np.ndarray(pops.shape, dtype=np.intp,
+                                     buffer=shm_pop.buf)
+            shared_fits = np.ndarray(fits.shape, dtype=np.float64,
+                                     buffer=shm_fit.buf)
+            shared_pops[:] = pops
+            shared_fits[:] = fits
+            futures = [
+                pool.submit(_evolve_island_span, shm_pop.name, shm_fit.name,
+                            pops.shape, k, generations, cfg,
+                            pickle.dumps(rngs[k]), wall_remaining)
+                for k in range(K)
+            ]
+            reports: List[Optional[Dict[str, object]]] = [None] * K
+            for fut in futures:
+                island, rng_bytes, report = fut.result()
+                rngs[island] = pickle.loads(rng_bytes)
+                reports[island] = report
+            pops[:] = shared_pops
+            fits[:] = shared_fits
+        finally:
+            # Unlink on every path — segments must never outlive the epoch.
+            if shm_pop is not None:
+                ParallelLevelScorer._release_segment(shm_pop)
+            if shm_fit is not None:
+                ParallelLevelScorer._release_segment(shm_fit)
+        return reports
+
+    # ------------------------------------------------------------------ #
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Release the pool.  Idempotent, safe from ``finally`` blocks."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "IslandRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,417 @@
+"""``GeneticSolver`` — the anytime memetic solver behind ``genetic``.
+
+The search loop is epochs of ``migrate_every`` generations: each epoch
+every island evolves independently (in process, or across worker
+processes via :class:`~repro.evolve.islands.IslandRunner`), then elites
+migrate around the island ring.  Between epochs the solver updates the
+global incumbent, charges the armed budget, and checks convergence — so
+node/eval budgets trip at deterministic points regardless of worker
+count, and a budgeted run always returns the best schedule seen so far.
+
+Generation 0 is seeded: the PG schedule always (the never-worse-than-PG
+guarantee follows — the incumbent starts there and only improves), plus
+the warm-start incumbent when ``solve(initial_schedule=...)`` provides
+one (the service's cached schedules and ``repair?base=genetic`` arrive
+through that path).  Both seeds go to *every* island.  Before evolution
+starts, a *floor* descent replays the registry's ``hill?seed=<seed>``
+run under the whole remaining budget (see :meth:`GeneticSolver._floor`),
+so at equal wall budget the genetic result also never trails plain
+hill-climbing whenever that descent converges.
+
+Trace events (``docs/OBSERVABILITY.md``): ``evo_generation`` per
+generation per island, ``evo_migration`` per epoch, ``evo_converge``
+when the stall window trips, plus the standard ``incumbent`` /
+``budget_stop`` / ``solve_start`` / ``solve_end``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.objective import evaluate_schedule
+from ..core.problem import CoSchedulingProblem
+from ..core.schedule import CoSchedule
+from ..solvers.base import Solver, SolveResult
+from ..solvers.greedy import PolitenessGreedy
+from .engine import population_objectives
+from .genome import EvolveConfig, genome_to_groups, groups_to_genome, random_population
+from .islands import IslandRunner, migrate_ring
+
+__all__ = ["GeneticSolver"]
+
+
+class GeneticSolver(Solver):
+    """Population-based memetic search over machine-group partitions.
+
+    Parameters (every one reachable as a spec param, e.g.
+    ``genetic?pop=64&islands=4&seed=7``):
+
+    population:
+        Total individuals across all islands (spec alias ``pop``).  Each
+        island gets ``population // islands``, floored at ``elites + 2``.
+    generations:
+        Generation cap; convergence or a budget usually stops earlier.
+    islands:
+        Independent sub-populations.  With ``--workers > 1`` they evolve
+        on worker processes; results are identical either way.
+    elites / migrants / migrate_every:
+        Survivors copied verbatim per generation; elites cloned to the
+        ring neighbour per epoch; generations per epoch.
+    mutation / tournament:
+        Expected fraction of machines disturbed per child; parent
+        tournament size.
+    memetic / memetic_evals:
+        Leading elites refined by a bounded
+        :class:`~repro.solvers.local_search.SwapHillClimber` pass each
+        generation, and the per-pass evaluation cap (0 disables).
+    stall:
+        Generations without global improvement before declaring
+        convergence (``evo_converge``).
+    polish:
+        Fraction of an armed wall budget reserved for the endgame: full
+        :class:`~repro.solvers.local_search.SwapHillClimber` descents
+        from the global best and the other elite basins (the memetic
+        finish — evolution explores basins, the polish walks the chosen
+        ones to their swap-local floors, then iterates kicked restarts
+        while budget lasts).  The PG basin itself is descended *before*
+        evolution by the floor phase, under the whole remaining budget.
+        On unbudgeted or converged runs the polish runs with whatever
+        budget remains.  0 disables.
+    seed:
+        Master seed; island RNGs derive from
+        ``numpy.random.SeedSequence(seed).spawn(...)``.
+    """
+
+    def __init__(
+        self,
+        population: int = 48,
+        generations: int = 64,
+        islands: int = 1,
+        elites: int = 2,
+        migrants: int = 2,
+        migrate_every: int = 4,
+        mutation: float = 0.3,
+        tournament: int = 3,
+        memetic: int = 1,
+        memetic_evals: int = 48,
+        stall: int = 12,
+        polish: float = 0.3,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ):
+        if population < 2:
+            raise ValueError("population must be >= 2")
+        if generations < 0:
+            raise ValueError("generations must be >= 0")
+        if islands < 1:
+            raise ValueError("islands must be >= 1")
+        if elites < 1:
+            raise ValueError("elites must be >= 1")
+        if migrants < 0:
+            raise ValueError("migrants must be >= 0")
+        if migrate_every < 1:
+            raise ValueError("migrate_every must be >= 1")
+        if not 0.0 <= mutation <= 1.0:
+            raise ValueError("mutation must be in [0, 1]")
+        if tournament < 1:
+            raise ValueError("tournament must be >= 1")
+        if memetic < 0:
+            raise ValueError("memetic must be >= 0")
+        if memetic_evals < 0:
+            raise ValueError("memetic_evals must be >= 0")
+        if stall < 1:
+            raise ValueError("stall must be >= 1")
+        if not 0.0 <= polish <= 1.0:
+            raise ValueError("polish must be in [0, 1]")
+        self.population = population
+        self.generations = generations
+        self.islands = islands
+        self.elites = elites
+        self.migrants = migrants
+        self.migrate_every = migrate_every
+        self.mutation = mutation
+        self.tournament = tournament
+        self.memetic = memetic
+        self.memetic_evals = memetic_evals
+        self.stall = stall
+        self.polish = polish
+        self.seed = seed
+        self.name = name or "genetic"
+        #: Worker-process cap for the island pool; ``run_solve`` sets this
+        #: from ``--workers``.  1 keeps everything in process.
+        self.workers = 1
+
+    # ------------------------------------------------------------------ #
+
+    def _gen0_seeds(self, problem: CoSchedulingProblem) -> List[np.ndarray]:
+        """Elite genomes injected into every island's generation 0: the
+        warm-start incumbent first (when present), then PG."""
+        seeds: List[np.ndarray] = []
+        warm = self._warm_start_groups(problem)
+        if warm is not None:
+            seeds.append(groups_to_genome(warm))
+        greedy = PolitenessGreedy().solve(problem)
+        seeds.append(groups_to_genome(greedy.schedule.groups))
+        return seeds
+
+    def _floor(self, problem: CoSchedulingProblem, pg_genome: np.ndarray,
+               budget):
+        """Phase 0 — the anytime floor: one full hill descent from PG
+        with the solver's master seed, run *before* evolution under the
+        whole remaining budget.  This is the registry's
+        ``hill?seed=<seed>`` run (same PG start, same seeded scan order,
+        the full wall clock), so whenever plain hill-climbing converges
+        inside the budget the genetic result can only match or beat it —
+        evolution and the polish then spend what remains searching other
+        basins.  Returns ``((genome, objective), evaluations)``.
+        """
+        from ..solvers.local_search import SwapHillClimber
+
+        start = CoSchedule.from_groups(genome_to_groups(pg_genome),
+                                       u=problem.u, n=problem.n)
+        climber = SwapHillClimber(max_passes=1_000_000, seed=self.seed,
+                                  name="floor-hill")
+        result = climber.solve(problem, budget=budget.remaining(),
+                               initial_schedule=start)
+        evals = int(result.stats.get("evaluations", 1))
+        budget.charge(evals)
+        return ((groups_to_genome(result.schedule.groups),
+                 float(result.objective)), evals)
+
+    def _polish(self, problem: CoSchedulingProblem,
+                candidates, best_obj: float,
+                budget, rng: np.random.Generator):
+        """Endgame: full hill-climber descents under whatever budget is
+        left.  ``candidates`` are genomes in priority order — the global
+        best first, then the remaining gen-0 seeds and island elites.
+        Every descent's scan order is drawn from the island RNG stream
+        (the PG basin was already descended with the master seed by
+        :meth:`_floor`, so the polish explores *other* basins).
+
+        Returns ``((genome, objective) | None, evaluations, descents)``.
+        """
+        from ..solvers.local_search import SwapHillClimber
+
+        evaluations = 0
+        best = None
+        seen = set()
+        queue = list(candidates)
+        descents = 0
+        while True:
+            if budget.exhausted() is not None:
+                break
+            remaining = budget.remaining()
+            if not queue:
+                # Iterated local search: once the seeded candidates are
+                # spent, keep kicking the incumbent and re-descending for
+                # as long as the budget lasts.  Only a budgeted run
+                # refills (nothing else bounds the loop).
+                if best is None or not budget.limited or descents >= 1_000:
+                    break
+                queue.append(self._kick(best[0], rng))
+            genome = queue.pop(0)
+            start = CoSchedule.from_groups(genome_to_groups(genome),
+                                           u=problem.u, n=problem.n)
+            if start.groups in seen:
+                continue
+            seen.add(start.groups)
+            climber = SwapHillClimber(
+                max_passes=1_000_000,
+                seed=int(rng.integers(0, 2**31 - 1)),
+                name="polish-hill",
+            )
+            result = climber.solve(problem, budget=remaining,
+                                   initial_schedule=start)
+            descents += 1
+            evals = int(result.stats.get("evaluations", 1))
+            evaluations += evals
+            budget.charge(evals)
+            if result.schedule is not None and (
+                    best is None or result.objective < best[1]):
+                best = (groups_to_genome(result.schedule.groups),
+                        float(result.objective))
+        return best, evaluations, descents
+
+    @staticmethod
+    def _kick(genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """A perturbed copy for the ILS restart: a handful of random
+        cross-machine swaps — enough to escape the current basin, close
+        enough to keep the descent short."""
+        kicked = genome.copy()
+        m = kicked.shape[0]
+        for _ in range(3 + int(rng.integers(0, m // 2 + 1))):
+            a, b = rng.choice(m, size=2, replace=False)
+            i = int(rng.integers(kicked.shape[1]))
+            j = int(rng.integers(kicked.shape[1]))
+            kicked[a, i], kicked[b, j] = kicked[b, j], kicked[a, i]
+        return kicked
+
+    def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        budget = self._active_budget()
+        tracer = problem.counters.tracer
+        n, u, m = problem.n, problem.u, problem.n_machines
+        seeds = self._gen0_seeds(problem)
+
+        if m < 2:
+            # One machine: the partition is forced, nothing to evolve.
+            schedule = CoSchedule.from_groups(genome_to_groups(seeds[0]),
+                                              u=u, n=n)
+            objective = evaluate_schedule(problem, schedule).objective
+            return SolveResult(
+                solver=self.name, schedule=schedule, objective=objective,
+                time_seconds=0.0,
+                stats={"generations": 0, "islands": 1, "population": 1,
+                       "evaluations": 1, "migrations": 0,
+                       "converged": True},
+            )
+
+        islands = max(1, self.islands)
+        per = max(self.elites + 2, self.population // islands)
+        cfg = EvolveConfig(
+            elites=self.elites, tournament=self.tournament,
+            mutation=self.mutation, memetic=self.memetic,
+            memetic_evals=self.memetic_evals,
+        )
+        children = np.random.SeedSequence(self.seed).spawn(islands + 1)
+        rngs = [np.random.Generator(np.random.PCG64(c))
+                for c in children[:islands]]
+        init_rng = np.random.Generator(np.random.PCG64(children[islands]))
+
+        floor_best = None
+        floor_evals = 0
+        if budget.exhausted() is None:
+            floor_best, floor_evals = self._floor(problem, seeds[-1],
+                                                  budget)
+
+        pops = np.empty((islands, per, m, u), dtype=np.intp)
+        for k in range(islands):
+            pops[k] = random_population(per, m, u, init_rng)
+            for row, genome in enumerate(seeds[:per]):
+                pops[k, row] = genome
+        fits = population_objectives(
+            problem, pops.reshape(islands * per, m, u),
+        ).reshape(islands, per)
+        evaluations = floor_evals + islands * per
+        budget.charge(islands * per)
+
+        flat = int(np.argmin(fits))
+        best_obj = float(fits.reshape(-1)[flat])
+        best_genome = pops.reshape(-1, m, u)[flat].copy()
+        if floor_best is not None and floor_best[1] < best_obj:
+            best_genome, best_obj = floor_best[0].copy(), floor_best[1]
+        generation = 0
+        migrations = 0
+        stalled = 0
+        converged = False
+        stopped = budget.exhausted()
+
+        armed_wall = budget.budget.wall_time
+        polish_reserve = 0.0
+        if armed_wall is not None and self.polish > 0:
+            polish_reserve = armed_wall * self.polish
+
+        runner = IslandRunner(problem, workers=min(self.workers, islands))
+        try:
+            while generation < self.generations and stopped is None:
+                gens = min(self.migrate_every,
+                           self.generations - generation)
+                wall_remaining = budget.remaining().wall_time
+                if wall_remaining is not None:
+                    # Leave the polish reserve on the clock: evolution
+                    # stops early so the endgame descent still has time.
+                    wall_remaining -= polish_reserve
+                    if wall_remaining <= 0:
+                        break
+                reports = runner.run_epoch(pops, fits, rngs, gens, cfg,
+                                           wall_remaining)
+                epoch_evals = 0
+                mirrored = 0
+                for k, report in enumerate(reports):
+                    epoch_evals += report["evaluations"]
+                    mirrored += report.get("weight_evals", 0)
+                    if tracer is not None:
+                        for row in report["history"]:
+                            tracer.emit(
+                                "evo_generation", solver=self.name,
+                                island=k,
+                                generation=generation + row["generation"],
+                                best=row["best"], mean=row["mean"],
+                            )
+                evaluations += epoch_evals
+                budget.charge(epoch_evals)
+                if runner.last_epoch_pooled and mirrored:
+                    problem.counters.incr("node_weight_batched", mirrored)
+                generation += gens
+                flat = int(np.argmin(fits))
+                candidate = float(fits.reshape(-1)[flat])
+                if candidate < best_obj - 1e-12:
+                    best_obj = candidate
+                    best_genome = pops.reshape(-1, m, u)[flat].copy()
+                    stalled = 0
+                    if tracer is not None:
+                        tracer.emit("incumbent", solver=self.name,
+                                    objective=best_obj,
+                                    generation=generation)
+                else:
+                    stalled += gens
+                stopped = budget.exhausted()
+                if stopped is None and stalled >= self.stall:
+                    converged = True
+                    if tracer is not None:
+                        tracer.emit("evo_converge", solver=self.name,
+                                    generation=generation, best=best_obj,
+                                    stalled=stalled)
+                    break
+                if (stopped is None and islands > 1
+                        and generation < self.generations):
+                    improved = migrate_ring(pops, fits, self.migrants)
+                    migrations += 1
+                    if tracer is not None:
+                        tracer.emit("evo_migration", solver=self.name,
+                                    epoch=migrations, improved=improved,
+                                    best=best_obj)
+        finally:
+            runner.close()
+
+        polish_evals = 0
+        polish_descents = 0
+        if stopped is None and self.polish > 0:
+            # seeds[-1] (PG) is excluded: _floor already descended that
+            # basin with the master seed before evolution started.
+            candidates = [best_genome] + seeds[:-1] + [
+                pops[k, 0].copy() for k in range(islands)
+            ]
+            polished, polish_evals, polish_descents = self._polish(
+                problem, candidates, best_obj, budget, init_rng)
+            evaluations += polish_evals
+            if polished is not None and polished[1] < best_obj - 1e-12:
+                best_genome, best_obj = polished[0], polished[1]
+                if tracer is not None:
+                    tracer.emit("incumbent", solver=self.name,
+                                objective=best_obj, generation=generation)
+            stopped = budget.exhausted()
+
+        if stopped is not None and tracer is not None:
+            tracer.emit("budget_stop", solver=self.name, reason=stopped,
+                        evaluations=evaluations)
+        schedule = CoSchedule.from_groups(genome_to_groups(best_genome),
+                                          u=u, n=n)
+        return SolveResult(
+            solver=self.name,
+            schedule=schedule,
+            objective=best_obj,
+            time_seconds=0.0,
+            stats={
+                "generations": generation,
+                "islands": islands,
+                "population": islands * per,
+                "evaluations": evaluations,
+                "migrations": migrations,
+                "converged": converged,
+                "floor_evaluations": floor_evals,
+                "polish_evaluations": polish_evals,
+                "polish_descents": polish_descents,
+            },
+        )

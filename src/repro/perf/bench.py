@@ -23,6 +23,11 @@ The document records, for this working tree and this machine:
   trace: amortized speedup of ``repair?base=hastar`` against
   per-event full re-solves, mean/max objective regret, and the
   never-worse-than-greedy guarantee flag;
+* **evolve** — objective-vs-wall-budget of the ``genetic`` memetic
+  solver (``docs/EVOLVE.md``) against ``pg`` / ``hill`` / ``anneal``
+  at large n under equal wall budgets: per-seed objectives, medians,
+  and the three quality flags (never worse than PG per seed; median
+  no worse than anneal and than hill per point);
 * **provenance** — git revision, kernel backend (``native`` | ``numpy``),
   provider (``cc``/``numba``/``numpy``), and the ``COSCHED_NATIVE``
   opt-out state;
@@ -51,12 +56,14 @@ import numpy as np
 
 __all__ = ["run_bench", "validate", "write_bench", "find_baseline",
            "trajectory", "trajectory_markdown",
-           "SCHEMA", "SCHEMA_V1", "SCHEMA_V2"]
+           "SCHEMA", "SCHEMA_V1", "SCHEMA_V2", "SCHEMA_V3"]
 
 #: Schema tag embedded in every new bench document.
-SCHEMA = "cosched-bench/3"
+SCHEMA = "cosched-bench/4"
 #: Prior schemas, still accepted by :func:`validate` (v1 documents
-#: predate the ``service`` section, v2 documents the ``online`` one).
+#: predate the ``service`` section, v2 the ``online`` one, v3 the
+#: ``evolve`` one).
+SCHEMA_V3 = "cosched-bench/3"
 SCHEMA_V2 = "cosched-bench/2"
 SCHEMA_V1 = "cosched-bench/1"
 
@@ -74,6 +81,11 @@ _REQUIRED_SERVICE_POINT = ("shards", "requests", "seconds", "rps",
 _REQUIRED_ONLINE = ("trace", "specs", "u", "events", "repair_total_ms",
                     "full_total_ms", "amortized_speedup", "mean_regret",
                     "max_regret", "never_worse_than_greedy", "escalations")
+_REQUIRED_EVOLVE = ("solvers", "seeds", "points",
+                    "genetic_never_worse_than_pg", "genetic_beats_anneal",
+                    "genetic_beats_hill")
+_REQUIRED_EVOLVE_POINT = ("n", "u", "wall_budget_s", "per_seed", "median",
+                          "genetic_vs")
 
 
 def _git_revision() -> str:
@@ -314,6 +326,88 @@ def _online_case(smoke: bool) -> Dict[str, object]:
     return replay_trace(trace, base="hastar", saturation=4.0)
 
 
+def _evolve_case(smoke: bool) -> Dict[str, object]:
+    """Objective vs wall budget: ``genetic`` against the anytime field.
+
+    Every solver gets the same problem (fresh caches) and the same wall
+    budget per point; ``pg`` runs unbudgeted (it is the instant floor
+    each anytime solver must never fall below).  The seeds pair the
+    runs — ``genetic?seed=s`` against ``hill?seed=s`` — so the medians
+    compare like against like.  Smoke shrinks n and the budgets to CI
+    scale; the quality flags are only meaningful (and only enforced by
+    the full-run acceptance bar) at the full sizes.
+    """
+    from ..runtime import run_solve
+    from ..solvers import Budget
+    from ..workloads.synthetic import random_serial_instance
+
+    if smoke:
+        sizes = [(16, 0.2), (24, 0.3)]
+        seeds = [0, 1]
+    else:
+        sizes = [(32, 1.0), (48, 1.5), (64, 2.0)]
+        seeds = [0, 1, 2, 3, 4]
+    solvers = ["pg", "hill", "anneal", "genetic"]
+
+    def spec_for(solver: str, seed: int) -> str:
+        if solver == "pg":
+            return "pg"
+        if solver == "hill":
+            return f"hill?seed={seed}"
+        if solver == "anneal":
+            return f"anneal?seed={seed}&iterations=1000000000"
+        return f"genetic?seed={seed}&islands=2"
+
+    points: List[Dict[str, object]] = []
+    never_worse_than_pg = True
+    # The quality bar lives at the paper's large-n scales: the beats_*
+    # flags AND the median comparison over the two largest points only
+    # (n=48 and n=64 on the full run).  never_worse_than_pg is
+    # structural and holds at every point and seed.
+    bar_sizes = {n for n, _ in sorted(sizes)[-2:]}
+    beats_anneal = True
+    beats_hill = True
+    for n, wall in sizes:
+        per_seed: Dict[str, List[float]] = {s: [] for s in solvers}
+        for seed in seeds:
+            problem = random_serial_instance(n, "quad", seed=seed,
+                                             saturation=4.0)
+            for solver in solvers:
+                problem.clear_caches()
+                budget = None if solver == "pg" else Budget(wall_time=wall)
+                report = run_solve(problem, spec_for(solver, seed),
+                                   budget=budget)
+                per_seed[solver].append(float(report.result.objective))
+            if per_seed["genetic"][-1] > per_seed["pg"][-1] + 1e-9:
+                never_worse_than_pg = False
+        median = {s: statistics.median(per_seed[s]) for s in solvers}
+        if n in bar_sizes:
+            if median["genetic"] > median["anneal"] + 1e-9:
+                beats_anneal = False
+            if median["genetic"] > median["hill"] + 1e-9:
+                beats_hill = False
+        points.append({
+            "n": n,
+            "u": 4,
+            "wall_budget_s": wall,
+            "per_seed": per_seed,
+            "median": median,
+            # Positive margin = genetic's median is better (lower).
+            "genetic_vs": {
+                s: median[s] - median["genetic"]
+                for s in solvers if s != "genetic"
+            },
+        })
+    return {
+        "solvers": solvers,
+        "seeds": seeds,
+        "points": points,
+        "genetic_never_worse_than_pg": never_worse_than_pg,
+        "genetic_beats_anneal": beats_anneal,
+        "genetic_beats_hill": beats_hill,
+    }
+
+
 def find_baseline(results_dir: str,
                   current_revision: str) -> Optional[Dict[str, object]]:
     """The newest valid ``BENCH_*.json`` for a *different* revision.
@@ -372,6 +466,7 @@ def run_bench(
         "solve": _solve_case(smoke, repeats),
         "service": _service_case(smoke),
         "online": _online_case(smoke),
+        "evolve": _evolve_case(smoke),
     }
     baseline = None
     if results_dir:
@@ -399,10 +494,10 @@ def validate(doc: object) -> None:
     for key in _REQUIRED_TOP:
         if key not in doc:
             raise ValueError(f"missing key: {key}")
-    if doc["schema"] not in (SCHEMA, SCHEMA_V2, SCHEMA_V1):
+    if doc["schema"] not in (SCHEMA, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1):
         raise ValueError(
-            f"schema must be {SCHEMA!r}, {SCHEMA_V2!r} or {SCHEMA_V1!r}, "
-            f"got {doc['schema']!r}"
+            f"schema must be {SCHEMA!r}, {SCHEMA_V3!r}, {SCHEMA_V2!r} or "
+            f"{SCHEMA_V1!r}, got {doc['schema']!r}"
         )
     if doc["kernel_backend"] not in ("native", "numpy"):
         raise ValueError("kernel_backend must be 'native' or 'numpy'")
@@ -468,6 +563,46 @@ def validate(doc: object) -> None:
             if not isinstance(event.get(key), (int, float)):
                 raise ValueError(
                     f"online.events[{i}].{key} must be a number")
+    if doc["schema"] == SCHEMA_V3:
+        return  # v3 documents predate the evolve section
+    evolve = doc.get("evolve")
+    if not isinstance(evolve, dict):
+        raise ValueError("missing key: evolve")
+    for key in _REQUIRED_EVOLVE:
+        if key not in evolve:
+            raise ValueError(f"missing key: evolve.{key}")
+    for key in ("genetic_never_worse_than_pg", "genetic_beats_anneal",
+                "genetic_beats_hill"):
+        if not isinstance(evolve[key], bool):
+            raise ValueError(f"evolve.{key} must be a bool")
+    solvers = evolve["solvers"]
+    if not isinstance(solvers, list) or "genetic" not in solvers:
+        raise ValueError("evolve.solvers must be a list including 'genetic'")
+    seeds = evolve["seeds"]
+    if not isinstance(seeds, list) or not seeds:
+        raise ValueError("evolve.seeds must be a non-empty list")
+    epoints = evolve["points"]
+    if not isinstance(epoints, list) or not epoints:
+        raise ValueError("evolve.points must be a non-empty list")
+    for i, point in enumerate(epoints):
+        for key in _REQUIRED_EVOLVE_POINT:
+            if key not in point:
+                raise ValueError(f"missing key: evolve.points[{i}].{key}")
+        for key in ("n", "u", "wall_budget_s"):
+            if not isinstance(point[key], (int, float)):
+                raise ValueError(
+                    f"evolve.points[{i}].{key} must be a number")
+        for solver in solvers:
+            vals = point["per_seed"].get(solver)
+            if (not isinstance(vals, list)
+                    or len(vals) != len(seeds)
+                    or not all(isinstance(v, (int, float)) for v in vals)):
+                raise ValueError(
+                    f"evolve.points[{i}].per_seed.{solver} must list one "
+                    f"number per seed")
+            if not isinstance(point["median"].get(solver), (int, float)):
+                raise ValueError(
+                    f"evolve.points[{i}].median.{solver} must be a number")
 
 
 def write_bench(doc: Dict[str, object], path: str) -> None:
@@ -485,8 +620,8 @@ def trajectory(results_dir: str) -> List[Dict[str, object]]:
     row per document, oldest first.
 
     Rows normalize across schema versions: v1 documents have no
-    ``service`` section and v1/v2 no ``online`` section, so those columns
-    are ``None`` there.  Unreadable or schema-invalid files are skipped
+    ``service`` section, v1/v2 no ``online`` section, and v1–v3 no
+    ``evolve`` section, so those columns are ``None`` there.  Unreadable or schema-invalid files are skipped
     (same policy as :func:`find_baseline`).  ``cosched bench
     --trajectory`` renders this as the cross-revision table.
     """
@@ -509,6 +644,13 @@ def trajectory(results_dir: str) -> List[Dict[str, object]]:
         micro = doc["micro"]
         service = doc.get("service")
         online = doc.get("online")
+        evolve = doc.get("evolve")
+        evolve_vs_hill = None
+        if evolve:
+            # Margin at the largest point: positive = genetic's median
+            # beats hill's at equal wall budget.
+            largest = max(evolve["points"], key=lambda p: p["n"])
+            evolve_vs_hill = largest["genetic_vs"]["hill"]
         rows.append({
             "file": name,
             "revision": doc["revision"],
@@ -531,6 +673,10 @@ def trajectory(results_dir: str) -> List[Dict[str, object]]:
             "online_mean_regret": (
                 online["mean_regret"] if online else None
             ),
+            "evolve_never_worse": (
+                evolve["genetic_never_worse_than_pg"] if evolve else None
+            ),
+            "evolve_vs_hill": evolve_vs_hill,
         })
     rows.sort(key=lambda r: r["created_unix"])
     return rows
@@ -539,11 +685,15 @@ def trajectory(results_dir: str) -> List[Dict[str, object]]:
 def trajectory_markdown(rows: List[Dict[str, object]]) -> str:
     """Render :func:`trajectory` rows as a GitHub-flavored markdown table."""
     header = ("| revision | schema | backend | smoke | solve p50 (ms) "
-              "| nodes/s | service x | online x | regret |")
-    rule = ("|---|---|---|---|---:|---:|---:|---:|---:|")
+              "| nodes/s | service x | online x | regret | evo≥pg "
+              "| evo Δhill |")
+    rule = ("|---|---|---|---|---:|---:|---:|---:|---:|---|---:|")
 
     def num(v, fmt="{:.2f}"):
         return fmt.format(v) if isinstance(v, (int, float)) else "—"
+
+    def flag(v):
+        return "—" if v is None else ("yes" if v else "NO")
 
     lines = [header, rule]
     for r in rows:
@@ -555,6 +705,8 @@ def trajectory_markdown(rows: List[Dict[str, object]]) -> str:
             f"| {num(r['nodes_per_sec'], '{:.0f}')} "
             f"| {num(r['service_speedup'])} "
             f"| {num(r['online_speedup'])} "
-            f"| {num(r['online_mean_regret'], '{:.4f}')} |"
+            f"| {num(r['online_mean_regret'], '{:.4f}')} "
+            f"| {flag(r.get('evolve_never_worse'))} "
+            f"| {num(r.get('evolve_vs_hill'), '{:+.5f}')} |"
         )
     return "\n".join(lines)

@@ -323,6 +323,14 @@ def _make_split(**kwargs) -> Solver:
     return SplitOAStar(**kwargs)
 
 
+def _make_genetic(**kwargs) -> Solver:
+    # Imported lazily like the parallel solvers: repro.evolve pulls in the
+    # perf shared-memory machinery, which solver-less callers never need.
+    from ..evolve import GeneticSolver
+
+    return GeneticSolver(**kwargs)
+
+
 def _make_portfolio(members=None, **kwargs) -> Solver:
     from ..parallel.portfolio import PortfolioSolver
 
@@ -404,6 +412,18 @@ register(SolverInfo(
     exact=False,
     budget_currencies=_SEARCH_CURRENCIES,
     supports_repair=True,
+))
+register(SolverInfo(
+    name="genetic",
+    aliases=("ga", "evolve", "memetic"),
+    factory=_make_genetic,
+    summary="population-based memetic search: batched fitness, island "
+            "model, hill-climber-refined elites (see docs/EVOLVE.md)",
+    exact=False,
+    budget_currencies=_SEARCH_CURRENCIES,
+    supports_workers=True,
+    supports_repair=True,
+    param_aliases={"pop": "population"},
 ))
 register(SolverInfo(
     name="brute",

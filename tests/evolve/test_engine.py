@@ -1,0 +1,91 @@
+"""The generation engine: batched fitness correctness and monotone elites."""
+
+import numpy as np
+
+from repro.core.objective import evaluate_schedule
+from repro.core.schedule import CoSchedule
+from repro.evolve import (
+    EvolveConfig,
+    evolve_generations,
+    genome_to_groups,
+    population_objectives,
+    random_population,
+    separable_objective,
+)
+from repro.workloads.synthetic import (
+    random_mixed_instance,
+    random_serial_instance,
+)
+
+
+def _problem(n=16, seed=0):
+    return random_serial_instance(n, "quad", seed=seed, saturation=4.0)
+
+
+class TestFitness:
+    def test_batched_matches_evaluate_schedule(self):
+        problem = _problem()
+        assert separable_objective(problem)
+        rng = np.random.default_rng(0)
+        pop = random_population(9, problem.n_machines, problem.u, rng)
+        fits = population_objectives(problem, pop)
+        for genome, fit in zip(pop, fits):
+            schedule = CoSchedule.from_groups(genome_to_groups(genome),
+                                              u=problem.u, n=problem.n)
+            exact = evaluate_schedule(problem, schedule).objective
+            assert abs(fit - exact) <= 1e-9 * (1 + abs(exact))
+
+    def test_parallel_jobs_fall_back_to_full_evaluation(self):
+        problem = random_mixed_instance(6, pe_shapes=(2,), seed=3)
+        assert not separable_objective(problem)
+        rng = np.random.default_rng(1)
+        pop = random_population(4, problem.n_machines, problem.u, rng)
+        fits = population_objectives(problem, pop)
+        for genome, fit in zip(pop, fits):
+            schedule = CoSchedule.from_groups(genome_to_groups(genome),
+                                              u=problem.u, n=problem.n)
+            exact = evaluate_schedule(problem, schedule).objective
+            assert abs(fit - exact) <= 1e-9 * (1 + abs(exact))
+
+    def test_batch_uses_one_kernel_call_per_population(self):
+        problem = _problem()
+        rng = np.random.default_rng(2)
+        pop = random_population(6, problem.n_machines, problem.u, rng)
+        before = problem.counters.count("node_weight_batched")
+        population_objectives(problem, pop, memo=False)
+        after = problem.counters.count("node_weight_batched")
+        assert after - before == pop.shape[0] * pop.shape[1]
+
+
+class TestEvolveGenerations:
+    def test_best_never_degrades_and_stays_sorted(self):
+        problem = _problem(n=20, seed=5)
+        rng = np.random.default_rng(7)
+        pop = random_population(12, problem.n_machines, problem.u, rng)
+        fit = population_objectives(problem, pop)
+        order = np.argsort(fit, kind="stable")
+        pop, fit = pop[order], fit[order]
+        first_best = float(fit[0])
+        report = evolve_generations(problem, pop, fit, rng, 8,
+                                    EvolveConfig())
+        assert len(report["history"]) == 8
+        assert report["evaluations"] > 0
+        bests = [row["best"] for row in report["history"]]
+        assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(bests, bests[1:]))
+        assert bests[-1] <= first_best + 1e-12
+        assert np.all(np.diff(fit) >= -1e-12)
+        # The population is still made of valid partitions.
+        for genome in pop:
+            assert sorted(genome.ravel().tolist()) == list(range(problem.n))
+
+    def test_deadline_stops_early(self):
+        problem = _problem(n=24, seed=6)
+        rng = np.random.default_rng(8)
+        pop = random_population(16, problem.n_machines, problem.u, rng)
+        fit = population_objectives(problem, pop)
+        import time
+
+        report = evolve_generations(problem, pop, fit, rng, 10_000,
+                                    EvolveConfig(),
+                                    deadline=time.perf_counter() + 0.05)
+        assert len(report["history"]) < 10_000

@@ -1,0 +1,89 @@
+"""Genome operators: every variation step must yield a valid partition."""
+
+import numpy as np
+import pytest
+
+from repro.evolve import (
+    crossover,
+    genome_to_groups,
+    groups_to_genome,
+    mutate,
+    random_population,
+)
+
+
+def _assert_valid_partition(genome, m, u):
+    assert genome.shape == (m, u)
+    assert sorted(genome.ravel().tolist()) == list(range(m * u))
+
+
+class TestRepresentation:
+    def test_groups_round_trip(self):
+        groups = [[3, 1], [0, 2]]
+        genome = groups_to_genome(groups)
+        assert genome.dtype == np.intp
+        assert genome_to_groups(genome) == groups
+        assert all(isinstance(p, int)
+                   for row in genome_to_groups(genome) for p in row)
+
+    @pytest.mark.parametrize("m,u", [(2, 2), (5, 4), (16, 4)])
+    def test_random_population_is_valid(self, m, u):
+        rng = np.random.default_rng(0)
+        pop = random_population(7, m, u, rng)
+        assert pop.shape == (7, m, u)
+        for genome in pop:
+            _assert_valid_partition(genome, m, u)
+
+
+class TestCrossover:
+    @pytest.mark.parametrize("m,u", [(2, 2), (4, 4), (12, 4)])
+    def test_child_is_valid_partition(self, m, u):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a, b = random_population(2, m, u, rng)
+            child = crossover(a, b, rng)
+            _assert_valid_partition(child, m, u)
+
+    def test_child_inherits_whole_groups_from_a(self):
+        """At least one of parent a's machine groups survives intact."""
+        rng = np.random.default_rng(2)
+        m, u = 8, 4
+        a, b = random_population(2, m, u, rng)
+        a_groups = {tuple(sorted(row)) for row in a.tolist()}
+        for _ in range(20):
+            child = crossover(a, b, rng)
+            child_groups = {tuple(sorted(row)) for row in child.tolist()}
+            assert a_groups & child_groups
+
+    def test_single_machine_is_identity(self):
+        rng = np.random.default_rng(3)
+        a = np.arange(4, dtype=np.intp).reshape(1, 4)
+        child = crossover(a, a, rng)
+        assert child is not a
+        np.testing.assert_array_equal(child, a)
+
+
+class TestMutate:
+    @pytest.mark.parametrize("rate", [0.0, 0.3, 1.0])
+    def test_mutation_preserves_partition(self, rate):
+        rng = np.random.default_rng(4)
+        m, u = 10, 4
+        (genome,) = random_population(1, m, u, rng)
+        for _ in range(25):
+            mutate(genome, rng, rate)
+            _assert_valid_partition(genome, m, u)
+
+    def test_mutation_always_changes_something(self):
+        rng = np.random.default_rng(5)
+        m, u = 6, 4
+        (genome,) = random_population(1, m, u, rng)
+        before = genome.copy()
+        mutate(genome, rng, 0.0)
+        assert not np.array_equal(before, genome)
+
+    def test_single_machine_is_noop(self):
+        rng = np.random.default_rng(6)
+        genome = np.arange(4, dtype=np.intp).reshape(1, 4)
+        mutate(genome, rng, 1.0)
+        np.testing.assert_array_equal(genome,
+                                      np.arange(4).reshape(1, 4))

@@ -1,0 +1,142 @@
+"""GeneticSolver end-to-end: guarantees, determinism, budgets, surfaces."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis.trace_report import summarize_trace
+from repro.evolve import GeneticSolver
+from repro.perf import Tracer
+from repro.perf.tracer import trace_to_list
+from repro.runtime import create_solver, get_info, run_solve
+from repro.solvers import Budget, PolitenessGreedy
+from repro.workloads.synthetic import random_serial_instance
+
+
+def _problem(n=24, seed=0):
+    return random_serial_instance(n, "quad", seed=seed, saturation=4.0)
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("budget", [
+        None,
+        Budget(max_expanded=1),
+        Budget(max_weight_evals=1),
+        Budget(wall_time=0.01),
+    ])
+    def test_never_worse_than_pg(self, budget):
+        """The PG seed makes the incumbent start at the greedy schedule:
+        even a one-evaluation budget must return something at least as
+        good (satellite guard for the registry's anytime contract)."""
+        for seed in range(3):
+            problem = _problem(seed=seed)
+            greedy = PolitenessGreedy().solve(problem).objective
+            problem.clear_caches()
+            result = GeneticSolver(seed=seed).solve(problem, budget=budget)
+            assert result.schedule is not None
+            assert result.objective <= greedy + 1e-9 * (1 + abs(greedy))
+
+    def test_improves_on_pg_given_time(self):
+        problem = _problem(n=24, seed=1)
+        greedy = PolitenessGreedy().solve(problem).objective
+        problem.clear_caches()
+        result = GeneticSolver(seed=1, generations=24).solve(problem)
+        assert result.objective < greedy - 1e-9
+
+    def test_budget_stop_reports_reason(self):
+        problem = _problem()
+        result = GeneticSolver(seed=0).solve(
+            problem, budget=Budget(max_expanded=10))
+        assert result.budget_stopped == "expanded"
+        assert result.schedule is not None
+
+    def test_warm_start_seeds_generation_zero(self):
+        problem = _problem(n=16, seed=2)
+        warm = GeneticSolver(seed=2, generations=16).solve(problem).schedule
+        problem.clear_caches()
+        result = GeneticSolver(seed=5, generations=0, polish=0.0).solve(
+            problem, initial_schedule=warm)
+        # Zero generations + no polish: the best gen-0 individual wins,
+        # and the warm genome is in every island's gen 0.
+        assert "warm_start" in result.stats
+        assert result.objective <= (
+            PolitenessGreedy().solve(problem).objective + 1e-9)
+
+    def test_single_machine_short_circuits(self):
+        problem = random_serial_instance(4, "quad", seed=0)
+        result = GeneticSolver(seed=0).solve(problem)
+        assert result.schedule is not None
+        assert result.stats["converged"] is True
+
+
+class TestDeterminism:
+    def _objective(self, spec, workers=1):
+        problem = _problem(n=20, seed=4)
+        report = run_solve(problem, spec, workers=workers)
+        return report.result.objective
+
+    def test_same_seed_same_result(self):
+        spec = "genetic?seed=7&islands=3&generations=12"
+        assert self._objective(spec) == self._objective(spec)
+
+    def test_workers_do_not_change_the_trajectory(self):
+        spec = "genetic?seed=7&islands=3&generations=12"
+        assert self._objective(spec, workers=1) == self._objective(
+            spec, workers=3)
+
+    def test_different_seeds_explore_differently(self):
+        problem = _problem(n=20, seed=4)
+        a = GeneticSolver(seed=1, generations=6, polish=0.0,
+                          memetic=0).solve(problem)
+        problem.clear_caches()
+        b = GeneticSolver(seed=2, generations=6, polish=0.0,
+                          memetic=0).solve(problem)
+        assert (a.objective != b.objective
+                or a.schedule.groups != b.schedule.groups)
+
+
+class TestTraceEvents:
+    def test_evo_events_reach_the_report(self):
+        problem = _problem(n=16, seed=3)
+        sink = io.StringIO()
+        with Tracer(sink, flush_every=1) as tracer:
+            run_solve(problem, "genetic?seed=3&islands=2&generations=8",
+                      tracer=tracer)
+        sink.seek(0)
+        events = trace_to_list(sink)
+        kinds = {e["ev"] for e in events}
+        assert "evo_generation" in kinds
+        assert "evo_migration" in kinds
+        summary = summarize_trace(events)
+        evolve = summary["evolve"]
+        assert evolve["generations"] >= 1
+        assert evolve["islands"] == 2
+        assert evolve["migrations"] >= 1
+        assert isinstance(evolve["best"], float)
+
+
+class TestRegistryEntry:
+    def test_capabilities(self):
+        info = get_info("genetic")
+        assert info.supports_repair
+        assert info.supports_workers
+        assert not info.exact
+        assert set(info.budget_currencies) == {
+            "wall_time", "max_expanded", "max_weight_evals"}
+        for alias in ("ga", "evolve", "memetic"):
+            assert get_info(alias) is info
+
+    def test_spec_params_reach_the_solver(self):
+        solver = create_solver("genetic?pop=64&islands=4&seed=7")
+        assert isinstance(solver, GeneticSolver)
+        assert solver.population == 64
+        assert solver.islands == 4
+        assert solver.seed == 7
+
+    def test_weight_eval_budget_counts_batched_kernel_calls(self):
+        problem = _problem(n=16, seed=0)
+        result = GeneticSolver(seed=0).solve(
+            problem, budget=Budget(max_weight_evals=200))
+        assert result.budget_stopped == "weight_evals"
+        assert problem.counters.count("node_weight_batched") >= 200

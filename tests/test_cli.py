@@ -329,3 +329,63 @@ class TestBenchServiceSection:
         del bad_point["service"]["points"][0]["rps"]
         with pytest.raises(ValueError, match="rps"):
             bench.validate(bad_point)
+
+
+class TestBenchEvolveSection:
+    def test_smoke_document_carries_evolve_quality(self):
+        from repro.perf import bench
+
+        doc = bench.run_bench(smoke=True, repeats=1)
+        bench.validate(doc)
+        evolve = doc["evolve"]
+        assert evolve["solvers"] == ["pg", "hill", "anneal", "genetic"]
+        assert evolve["genetic_never_worse_than_pg"] is True
+        for point in evolve["points"]:
+            for solver in evolve["solvers"]:
+                assert len(point["per_seed"][solver]) == len(evolve["seeds"])
+            # pg is the floor every anytime solver is seeded from.
+            for g, p in zip(point["per_seed"]["genetic"],
+                            point["per_seed"]["pg"]):
+                assert g <= p + 1e-9
+            assert set(point["genetic_vs"]) == {"pg", "hill", "anneal"}
+
+    def test_validate_accepts_v3_documents_without_evolve(self):
+        from repro.perf import bench
+
+        doc = bench.run_bench(smoke=True, repeats=1)
+        old = dict(doc)
+        del old["evolve"]
+        old["schema"] = bench.SCHEMA_V3
+        bench.validate(old)  # must not raise
+        bad = dict(doc)
+        del bad["evolve"]
+        with pytest.raises(ValueError, match="evolve"):
+            bench.validate(bad)
+
+
+class TestBenchTrajectoryFlag:
+    def test_empty_results_dir_degrades_gracefully(self, tmp_path, capsys):
+        rc = main(["bench", "--trajectory",
+                   "--results-dir", str(tmp_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "no bench history yet" in captured.err
+        assert captured.out == ""
+
+    def test_missing_results_dir_degrades_gracefully(self, tmp_path, capsys):
+        rc = main(["bench", "--trajectory",
+                   "--results-dir", str(tmp_path / "nope")])
+        assert rc == 0
+        assert "no bench history yet" in capsys.readouterr().err
+
+    def test_renders_table_when_documents_exist(self, tmp_path, capsys):
+        from repro.perf import bench
+
+        doc = bench.run_bench(smoke=True, repeats=1)
+        bench.write_bench(doc, str(tmp_path / "BENCH_test.json"))
+        rc = main(["bench", "--trajectory",
+                   "--results-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "| revision |" in out
+        assert doc["revision"] in out
