@@ -84,6 +84,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
             caps.append("warm-start")
         if info.supports_workers:
             caps.append("workers")
+        if info.scenario_flags():
+            caps.append("scenarios")
         alias = f" (aliases: {', '.join(info.aliases)})" if info.aliases else ""
         print(f"  {name:10s} [{', '.join(caps)}] {info.summary}{alias}")
     print("\ncatalog programs:", ", ".join(sorted(CATALOG)))
@@ -163,8 +165,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     try:
         # run_solve attaches (and restores) the tracer, applies --workers,
         # and arms the budget — the CLI only renders the report.
-        report = run_solve(problem, spec, budget=budget, tracer=tracer,
-                           workers=getattr(args, "workers", 1))
+        try:
+            report = run_solve(problem, spec, budget=budget, tracer=tracer,
+                               workers=getattr(args, "workers", 1))
+        except SpecError as exc:
+            # e.g. unsupported_scenario: the problem needs capabilities
+            # (heterogeneous roster, constraints) this solver lacks.
+            print(f"cannot solve with {spec.canonical()!r} "
+                  f"({exc.reason}): {exc.detail}", file=sys.stderr)
+            return 2
         result = report.result
         if result.schedule is None:
             reason = report.stopped or "no schedule found"

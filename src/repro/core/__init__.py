@@ -1,5 +1,12 @@
 """Core problem model: jobs, machines, degradations, schedules, objectives."""
 
+from .constraints import (
+    BandwidthCapConstraint,
+    CachePartitionModel,
+    ScenarioConstraint,
+    constraint_from_dict,
+    constraint_to_dict,
+)
 from .degradation import (
     CacheDegradationModel,
     MatrixDegradationModel,
@@ -25,6 +32,11 @@ from .problem import CoSchedulingProblem
 from .schedule import CoSchedule, validate_groups
 
 __all__ = [
+    "ScenarioConstraint",
+    "BandwidthCapConstraint",
+    "CachePartitionModel",
+    "constraint_to_dict",
+    "constraint_from_dict",
     "CacheDegradationModel",
     "MatrixDegradationModel",
     "MissRatePressureModel",

@@ -9,6 +9,7 @@ bandwidth ``B`` used by the communication model (Eq. 10).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Tuple
 
 
 @dataclass(frozen=True)
@@ -59,7 +60,22 @@ class MachineSpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """A homogeneous cluster of identical machines linked by a network.
+    """A cluster of machines linked by a network.
+
+    Two construction modes:
+
+    * **homogeneous** (the paper's model, and the default): ``machine`` is
+      the template every machine in the cluster instantiates — the machine
+      supply is unbounded and the workload size picks ``n/u`` of them;
+    * **heterogeneous**: an explicit ``machines`` roster (possibly
+      differing in ``cores``, ``clock_hz`` or cache geometry).  ``machine``
+      then serves as the *reference* machine — the one degradation models
+      are calibrated against (see ``docs/SCENARIOS.md``); use
+      :meth:`of_machines` to pick it automatically.
+
+    Roster order is identity: ``machines[k]`` *is* machine ``k`` for
+    schedules, constraints and codecs, so the order is never silently
+    reshuffled.
 
     ``bandwidth_bytes_per_s`` is ``B`` in Eq. 10 — the paper notes the
     inter-machine bandwidth in a cluster is uniform (10 GbE in their testbed).
@@ -67,14 +83,60 @@ class ClusterSpec:
 
     machine: MachineSpec
     bandwidth_bytes_per_s: float = 10e9 / 8  # 10 Gigabit Ethernet
+    machines: Tuple[MachineSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.bandwidth_bytes_per_s <= 0:
             raise ValueError("bandwidth must be positive")
+        if self.machines:
+            object.__setattr__(self, "machines", tuple(self.machines))
+            for m in self.machines:
+                if not isinstance(m, MachineSpec):
+                    raise ValueError(
+                        f"machines roster entries must be MachineSpec, "
+                        f"got {type(m).__name__}"
+                    )
+
+    @classmethod
+    def of_machines(
+        cls,
+        machines: Iterable[MachineSpec],
+        bandwidth_bytes_per_s: float = 10e9 / 8,
+    ) -> "ClusterSpec":
+        """An explicit-roster cluster; the largest machine (most cores,
+        first on ties) becomes the reference ``machine``."""
+        roster = tuple(machines)
+        if not roster:
+            raise ValueError("machines roster must not be empty")
+        reference = max(roster, key=lambda m: m.cores)
+        return cls(machine=reference,
+                   bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+                   machines=roster)
 
     @property
     def cores(self) -> int:
+        """The uniform core count — raises for rosters that mix core
+        counts (use :attr:`capacities` there)."""
+        if self.machines:
+            counts = {m.cores for m in self.machines}
+            if len(counts) > 1:
+                raise ValueError(
+                    "heterogeneous cluster has no single core count; "
+                    f"capacities are {self.capacities}"
+                )
+            return counts.pop()
         return self.machine.cores
+
+    @property
+    def capacities(self) -> Tuple[int, ...]:
+        """Per-machine core counts of the explicit roster (empty for the
+        homogeneous template mode, where the machine supply is unbounded)."""
+        return tuple(m.cores for m in self.machines)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when an explicit roster mixes machine specs."""
+        return bool(self.machines) and len(set(self.machines)) > 1
 
 
 # ---------------------------------------------------------------------- #

@@ -50,8 +50,21 @@ class ScheduleEvaluation:
 def evaluate_schedule(
     problem: CoSchedulingProblem, schedule: CoSchedule
 ) -> ScheduleEvaluation:
-    """Evaluate a complete schedule under the problem's degradation model."""
+    """Evaluate a complete schedule under the problem's degradation model.
+
+    Scenario problems (heterogeneous rosters and/or constraints) require a
+    machine-indexed schedule carrying matching ``capacities``; machine
+    ``k``'s group weight is scaled by the machine's factor and constraint
+    penalties are added to the objective.
+    """
     wl: Workload = problem.workload
+    if problem.is_scenario:
+        return _evaluate_scenario(problem, schedule)
+    if schedule.capacities is not None:
+        raise ValueError(
+            "machine-indexed schedule (capacities set) given for a "
+            "homogeneous, unconstrained problem"
+        )
     if schedule.n != wl.n or schedule.u != problem.u:
         raise ValueError(
             f"schedule shape (n={schedule.n}, u={schedule.u}) does not match "
@@ -75,6 +88,40 @@ def evaluate_schedule(
             else:
                 job_d[job.job_id] = d
     objective = sum(job_d.values()) + extra
+    return ScheduleEvaluation(
+        objective=objective,
+        job_degradations=job_d,
+        process_degradations=proc_d,
+    )
+
+
+def _evaluate_scenario(
+    problem: CoSchedulingProblem, schedule: CoSchedule
+) -> ScheduleEvaluation:
+    """Machine-indexed evaluation: scaled degradations + constraint
+    penalties (scenario problems are serial-only and unpadded)."""
+    wl: Workload = problem.workload
+    if schedule.capacities != problem.capacities:
+        raise ValueError(
+            f"schedule capacities {schedule.capacities} do not match the "
+            f"problem's machine roster {problem.capacities}; build the "
+            f"schedule with problem.make_schedule(machine_groups)"
+        )
+    proc_d: Dict[int, float] = {}
+    job_d: Dict[int, float] = {}
+    objective = 0.0
+    for k, group in enumerate(schedule.groups):
+        members = frozenset(group)
+        scale = problem.machine_scale[k]
+        for pid in group:
+            d = scale * problem.degradation(pid, members - {pid})
+            proc_d[pid] = d
+            job = wl.job_of(pid)
+            assert job is not None
+            job_d[job.job_id] = d
+            objective += d
+        for c in problem.constraints:
+            objective += c.penalty(k, group)
     return ScheduleEvaluation(
         objective=objective,
         job_degradations=job_d,

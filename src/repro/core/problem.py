@@ -15,15 +15,27 @@ so solvers can share one problem instance.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+import json
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from ..comm.model import CommunicationModel
 from ..perf.counters import PerfCounters
+from .constraints import ScenarioConstraint
 from .degradation import CacheDegradationModel
 from .jobs import JobKind, Workload
-from .machine import ClusterSpec
+from .machine import ClusterSpec, MachineSpec
 
 __all__ = ["CoSchedulingProblem"]
 
@@ -43,6 +55,16 @@ class CoSchedulingProblem:
         Communication times for PC processes (Eq. 10-11).  ``None`` means no
         PC jobs, or treat them as PE (the paper's OA*-PE ablation does this
         deliberately).
+    constraints:
+        Scenario constraints (:mod:`repro.core.constraints`) whose soft
+        penalties are added per machine placement.  Requires a serial-only,
+        unpadded, communication-free workload.
+    machine_scaling:
+        Per-machine degradation/speed scaling hook: either a callable
+        ``MachineSpec -> float`` or a sequence of one factor per machine.
+        Machine ``k``'s group weight is ``machine_scaling[k] *
+        node_weight(group)`` — e.g. clock-ratio scaling for clusters whose
+        degradation model was calibrated on the reference machine.
     """
 
     def __init__(
@@ -52,16 +74,70 @@ class CoSchedulingProblem:
         degradation_model: CacheDegradationModel,
         comm_model: Optional[CommunicationModel] = None,
         node_extra_cost: Optional[object] = None,
+        constraints: Sequence[ScenarioConstraint] = (),
+        machine_scaling: Union[
+            None, Callable[[MachineSpec], float], Sequence[float]
+        ] = None,
     ):
-        if workload.n % cluster.cores != 0:
-            raise ValueError(
-                f"workload has {workload.n} processes, not a multiple of "
-                f"u={cluster.cores}; construct Workload with cores_per_machine"
-            )
+        if cluster.machines:
+            capacities = cluster.capacities
+            total = sum(capacities)
+            if total != workload.n:
+                roster = ", ".join(
+                    f"machine {k}: {m.cores} cores"
+                    for k, m in enumerate(cluster.machines)
+                )
+                raise ValueError(
+                    f"workload has {workload.n} processes but the cluster "
+                    f"roster provides {total} cores ({roster}); adjust the "
+                    f"roster so its capacities sum to {workload.n}, or pad "
+                    f"the workload with imaginary processes "
+                    f"(Workload(jobs, cores_per_machine=...) pads "
+                    f"automatically for homogeneous clusters)"
+                )
+            self.machines: Tuple[MachineSpec, ...] = cluster.machines
+            self.capacities: Tuple[int, ...] = capacities
+        else:
+            u = cluster.cores
+            if workload.n % u != 0:
+                raise ValueError(
+                    f"workload has {workload.n} processes, not a multiple of "
+                    f"u={u}; either pad the workload with imaginary "
+                    f"processes (Workload(jobs, cores_per_machine={u}) pads "
+                    f"automatically) or give the cluster an explicit "
+                    f"machines roster whose capacities sum to {workload.n} "
+                    f"(ClusterSpec.of_machines([...]))"
+                )
+            m = workload.n // u
+            self.machines = (cluster.machine,) * m
+            self.capacities = (u,) * m
         self.workload = workload
         self.cluster = cluster
         self.model = degradation_model
         self.comm = comm_model
+        self.constraints: Tuple[ScenarioConstraint, ...] = tuple(constraints)
+        if machine_scaling is None:
+            scale: Tuple[float, ...] = (1.0,) * len(self.machines)
+        elif callable(machine_scaling):
+            scale = tuple(float(machine_scaling(m)) for m in self.machines)
+        else:
+            scale = tuple(float(s) for s in machine_scaling)
+            if len(scale) != len(self.machines):
+                raise ValueError(
+                    f"machine_scaling has {len(scale)} factors but the "
+                    f"cluster has {len(self.machines)} machines"
+                )
+        if any(s <= 0 for s in scale):
+            raise ValueError("machine scaling factors must be positive")
+        #: Per-machine multiplier applied to that machine's group weight.
+        self.machine_scale: Tuple[float, ...] = scale
+        self._heterogeneous = (
+            len(set(self.capacities)) > 1
+            or len(set(self.machines)) > 1
+            or len(set(scale)) > 1
+        )
+        self._machine_order: Optional[Tuple[int, ...]] = None
+        self._machine_node_cache: Dict[Tuple[int, Tuple[int, ...]], float] = {}
         #: Optional callable ``node -> float`` adding a non-negative cost to
         #: every machine grouping beyond its members' degradations.  Used by
         #: extensions (e.g. VM migration penalties); the objective, all
@@ -75,6 +151,8 @@ class CoSchedulingProblem:
         #: Performance instrumentation shared by every layer touching this
         #: problem (weight kernels, successor generation, search phases).
         self.counters = PerfCounters()
+        if self._heterogeneous or self.constraints:
+            self._validate_scenario()
 
     # ------------------------------------------------------------------ #
 
@@ -84,11 +162,155 @@ class CoSchedulingProblem:
 
     @property
     def u(self) -> int:
-        return self.cluster.cores
+        """The uniform core count for homogeneous clusters; the *largest*
+        machine capacity for heterogeneous rosters (the group-width
+        ceiling — use :attr:`capacities` for per-machine sizes)."""
+        return max(self.capacities)
 
     @property
     def n_machines(self) -> int:
-        return self.n // self.u
+        return len(self.capacities)
+
+    # ------------------------------------------------------------------ #
+    # Scenario surface: heterogeneity + constraints
+    # ------------------------------------------------------------------ #
+
+    def _validate_scenario(self) -> None:
+        if self.comm is not None:
+            raise ValueError(
+                "heterogeneous/constrained problems do not support a "
+                "communication model (Eq. 10 assumes identical machines)"
+            )
+        if self.node_extra_cost is not None:
+            raise ValueError(
+                "heterogeneous/constrained problems do not support "
+                "node_extra_cost; express placement costs as a "
+                "ScenarioConstraint instead"
+            )
+        if self.workload.n_imaginary:
+            raise ValueError(
+                "heterogeneous/constrained problems do not support "
+                "imaginary padding; give the cluster a roster whose "
+                "capacities sum to the real process count"
+            )
+        for pid in range(self.n):
+            if self.workload.kind_of(pid) is not JobKind.SERIAL:
+                raise ValueError(
+                    "heterogeneous/constrained problems support serial "
+                    f"workloads only (process {pid} is parallel)"
+                )
+        for c in self.constraints:
+            c.validate_for(self.n, self.n_machines)
+
+    def required_capabilities(self) -> FrozenSet[str]:
+        """Capability flags a solver must declare to handle this instance:
+        ``heterogeneous`` when machines differ (cores, spec or scaling),
+        ``constraints`` when scenario constraints are attached.  Empty for
+        the paper's homogeneous, unconstrained model."""
+        caps = set()
+        if self._heterogeneous:
+            caps.add("heterogeneous")
+        if self.constraints:
+            caps.add("constraints")
+        return frozenset(caps)
+
+    @property
+    def is_scenario(self) -> bool:
+        """True when this instance needs scenario-capable solvers."""
+        return self._heterogeneous or bool(self.constraints)
+
+    def machine_identity(self, k: int) -> Tuple:
+        """Hashable identity of machine ``k``: spec geometry + scaling +
+        every constraint's per-machine key.  Machines with equal identities
+        are interchangeable, so solvers dedupe permutations of them."""
+        m = self.machines[k]
+        return (
+            m.cores,
+            m.shared_cache.size_bytes,
+            m.shared_cache.associativity,
+            m.shared_cache.line_bytes,
+            m.clock_hz,
+            m.miss_penalty_cycles,
+            self.machine_scale[k],
+        ) + tuple(c.machine_key(k) for c in self.constraints)
+
+    def canonical_machine_order(self) -> Tuple[int, ...]:
+        """Machine indices in canonical slot order: capacity descending,
+        then identity, then index — so identical machines sit in
+        consecutive runs and symmetric placements can be deduped."""
+        if self._machine_order is None:
+            self._machine_order = tuple(sorted(
+                range(self.n_machines),
+                key=lambda k: (
+                    -self.capacities[k],
+                    json.dumps(self.machine_identity(k)),
+                    k,
+                ),
+            ))
+        return self._machine_order
+
+    def slot_plan(self) -> List[Tuple[int, int, bool]]:
+        """The canonical slot sequence as ``(machine_idx, capacity,
+        same_identity_as_previous_slot)`` triples."""
+        order = self.canonical_machine_order()
+        plan: List[Tuple[int, int, bool]] = []
+        prev_identity = None
+        for k in order:
+            identity = self.machine_identity(k)
+            plan.append((k, self.capacities[k], identity == prev_identity))
+            prev_identity = identity
+        return plan
+
+    def machine_node_weight(self, k: int, node: Tuple[int, ...]) -> float:
+        """Weight of placing co-run group ``node`` on machine ``k``:
+        the machine's scaling factor times the group's degradation sum,
+        plus every constraint's penalty for that placement."""
+        key = (k, tuple(sorted(node)))
+        hit = self._machine_node_cache.get(key)
+        if hit is not None:
+            return hit
+        w = self.machine_scale[k] * self.node_weight(key[1])
+        for c in self.constraints:
+            p = c.penalty(k, key[1])
+            if p < 0:
+                raise ValueError(
+                    f"constraint {type(c).__name__} returned a negative "
+                    f"penalty {p} for machine {k}"
+                )
+            w += p
+        self._machine_node_cache[key] = w
+        return w
+
+    def make_schedule(self, groups: Sequence[Sequence[int]]) -> "CoSchedule":
+        """Build a :class:`CoSchedule` from machine-indexed groups
+        (``groups[k]`` runs on machine ``k``).
+
+        For the paper's homogeneous model this is the classic canonical
+        form (machine identity is irrelevant).  For scenario problems the
+        machine axis is meaningful, so groups keep their machine index and
+        only *interchangeable* machines (equal :meth:`machine_identity`)
+        are canonicalized among themselves, by smallest member.
+        """
+        from .schedule import CoSchedule
+
+        if not self.is_scenario:
+            return CoSchedule.from_groups(groups, u=self.u, n=self.n)
+        groups = [tuple(sorted(g)) for g in groups]
+        if len(groups) != self.n_machines:
+            raise ValueError(
+                f"expected {self.n_machines} machine groups, got {len(groups)}"
+            )
+        classes: Dict[Tuple, List[int]] = {}
+        for k in range(self.n_machines):
+            classes.setdefault(self.machine_identity(k), []).append(k)
+        final: List[Tuple[int, ...]] = list(groups)
+        for indices in classes.values():
+            if len(indices) == 1:
+                continue
+            owned = sorted((groups[k] for k in indices), key=lambda g: g[0])
+            for k, g in zip(sorted(indices), owned):
+                final[k] = g
+        return CoSchedule.from_machine_groups(final, self.capacities)
 
     # ------------------------------------------------------------------ #
 
@@ -248,6 +470,15 @@ class CoSchedulingProblem:
             q for q in range(self.n)
             if q != pid and not self.workload.is_imaginary(q)
         ]
+        if self.is_scenario:
+            # Machines differ in capacity, so the coset size depends on
+            # the (unknown) placement: min over every distinct capacity.
+            # Constraint penalties are >= 0 and scaling is handled by the
+            # caller, so this floor stays admissible.
+            sizes = sorted({min(c - 1, len(universe)) for c in self.capacities})
+            return min(
+                self.model.min_degradation(pid, universe, k) for k in sizes
+            )
         # Imaginary pads shrink the real co-runner count, and degradation
         # need not be monotone in coset size, so take the min over every
         # feasible real-coset size.
@@ -290,6 +521,7 @@ class CoSchedulingProblem:
         self._deg_cache.clear()
         self._node_cache.clear()
         self._extra_cache.clear()
+        self._machine_node_cache.clear()
         self.model.clear_caches()
         self.stats = {"degradation_evals": 0, "node_evals": 0}
         self.counters.reset()

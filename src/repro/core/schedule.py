@@ -10,44 +10,75 @@ co-scheduling graph, so a schedule *is* a valid path's node sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .jobs import Workload
 
 __all__ = ["CoSchedule", "validate_groups"]
 
 
-def validate_groups(groups: Sequence[Sequence[int]], n: int, u: int) -> None:
-    """Raise ``ValueError`` unless ``groups`` is a partition of ``0..n-1``
-    into ``n/u`` groups of exactly ``u``."""
-    if n % u != 0:
+def validate_groups(
+    groups: Sequence[Sequence[int]],
+    n: int,
+    u: int,
+    capacities: Optional[Sequence[int]] = None,
+) -> None:
+    """Raise ``ValueError`` unless ``groups`` is a partition of ``0..n-1``.
+
+    Homogeneous (``capacities=None``): ``n/u`` groups of exactly ``u``.
+    Heterogeneous: one group per machine, ``len(groups[k]) ==
+    capacities[k]``.
+    """
+    if capacities is not None:
+        if len(groups) != len(capacities):
+            raise ValueError(
+                f"expected {len(capacities)} machine groups, got {len(groups)}"
+            )
+        if sum(capacities) != n:
+            raise ValueError(
+                f"capacities {tuple(capacities)} sum to {sum(capacities)}, "
+                f"not n={n}"
+            )
+    elif n % u != 0:
         raise ValueError(f"n={n} not divisible by u={u} (pad the workload)")
-    if len(groups) != n // u:
+    elif len(groups) != n // u:
         raise ValueError(f"expected {n // u} groups, got {len(groups)}")
     seen = set()
-    for g in groups:
-        if len(g) != u:
-            raise ValueError(f"group {tuple(g)} has {len(g)} processes, expected {u}")
+    for k, g in enumerate(groups):
+        cap = u if capacities is None else capacities[k]
+        if len(g) != cap:
+            raise ValueError(
+                f"group {tuple(g)} has {len(g)} processes, expected {cap}"
+            )
         for pid in g:
             if not 0 <= pid < n:
                 raise ValueError(f"process id {pid} out of range 0..{n - 1}")
             if pid in seen:
                 raise ValueError(f"process {pid} appears in more than one group")
             seen.add(pid)
-    # len(groups)*u == n and no duplicates => full coverage.
+    # group sizes sum to n and no duplicates => full coverage.
 
 
 @dataclass(frozen=True)
 class CoSchedule:
     """An immutable, canonicalized co-schedule.
 
-    ``groups[k]`` is the ascending tuple of process ids on machine ``k``;
-    groups are ordered by smallest member, so equality between schedules is
-    semantic (machine identities don't matter).
+    Homogeneous (``capacities is None``, the paper's model): ``groups[k]``
+    is the ascending tuple of process ids on machine ``k``; groups are
+    ordered by smallest member, so equality between schedules is semantic
+    (machine identities don't matter).
+
+    Heterogeneous (``capacities`` set): machine identity matters, so
+    ``groups[k]`` stays bound to machine ``k`` of the cluster roster and
+    ``len(groups[k]) == capacities[k]``.  Canonicalization among
+    *interchangeable* machines is the problem's job
+    (:meth:`repro.core.problem.CoSchedulingProblem.make_schedule`), because
+    only the problem knows which machines share an identity.
     """
 
     groups: Tuple[Tuple[int, ...], ...]
     u: int
+    capacities: Optional[Tuple[int, ...]] = None
 
     @classmethod
     def from_groups(cls, groups: Iterable[Iterable[int]], u: int,
@@ -56,6 +87,20 @@ class CoSchedule:
         total = sum(len(g) for g in canon)
         validate_groups(canon, n if n is not None else total, u)
         return cls(groups=canon, u=u)
+
+    @classmethod
+    def from_machine_groups(
+        cls,
+        groups: Sequence[Sequence[int]],
+        capacities: Sequence[int],
+    ) -> "CoSchedule":
+        """Build a heterogeneous schedule: ``groups[k]`` (sorted within the
+        group, machine order preserved) runs on machine ``k`` with
+        ``capacities[k]`` cores."""
+        caps = tuple(int(c) for c in capacities)
+        canon = tuple(tuple(sorted(g)) for g in groups)
+        validate_groups(canon, sum(caps), max(caps), capacities=caps)
+        return cls(groups=canon, u=max(caps), capacities=caps)
 
     @classmethod
     def from_assignment(cls, machine_of: Sequence[int], u: int) -> "CoSchedule":

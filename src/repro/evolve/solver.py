@@ -84,6 +84,8 @@ class GeneticSolver(Solver):
         ``numpy.random.SeedSequence(seed).spawn(...)``.
     """
 
+    scenario_capabilities = frozenset({"heterogeneous", "constraints"})
+
     def __init__(
         self,
         population: int = 48,
@@ -248,7 +250,172 @@ class GeneticSolver(Solver):
             kicked[a, i], kicked[b, j] = kicked[b, j], kicked[a, i]
         return kicked
 
+    def _solve_scenario(self, problem: CoSchedulingProblem) -> SolveResult:
+        """Scenario path: the same memetic loop (PG seed, elite
+        truncation, machine-row crossover, swap mutation, hill polish)
+        over machine-indexed group lists whose sizes follow the roster's
+        capacities instead of rectangular ``(m, u)`` genome arrays."""
+        from ..solvers.local_search import SwapHillClimber
+
+        budget = self._active_budget()
+        tracer = problem.counters.tracer
+        n, m = problem.n, problem.n_machines
+        caps = problem.capacities
+        rng = np.random.default_rng(self.seed)
+
+        def evaluate(groups: List[List[int]]) -> float:
+            sched = problem.make_schedule(groups)
+            return float(evaluate_schedule(problem, sched).objective)
+
+        def random_assignment() -> List[List[int]]:
+            perm = rng.permutation(n).tolist()
+            groups: List[List[int]] = []
+            idx = 0
+            for c in caps:
+                groups.append(sorted(perm[idx:idx + c]))
+                idx += c
+            return groups
+
+        def crossover(a: List[List[int]], b: List[List[int]]) -> List[List[int]]:
+            # Keep ~half of a's machine rows whole; refill the rest from
+            # b's scan order, chunked to each open machine's capacity.
+            keep = rng.random(m) < 0.5
+            child: List[Optional[List[int]]] = [
+                list(a[k]) if keep[k] else None for k in range(m)
+            ]
+            used = set()
+            for g in child:
+                if g is not None:
+                    used.update(g)
+            scan = [p for g in b for p in g if p not in used]
+            idx = 0
+            for k in range(m):
+                if child[k] is None:
+                    child[k] = sorted(scan[idx:idx + caps[k]])
+                    idx += caps[k]
+            return child  # type: ignore[return-value]
+
+        def mutate(groups: List[List[int]]) -> List[List[int]]:
+            out = [list(g) for g in groups]
+            if m < 2:
+                return out
+            for _ in range(max(1, int(round(self.mutation * m)))):
+                a, b = rng.choice(m, size=2, replace=False)
+                i = int(rng.integers(len(out[a])))
+                j = int(rng.integers(len(out[b])))
+                out[a][i], out[b][j] = out[b][j], out[a][i]
+            return out
+
+        seeds: List[List[List[int]]] = []
+        warm = self._warm_start_groups(problem)
+        if warm is not None and len(warm) == m:
+            seeds.append([sorted(g) for g in warm])
+        pg = PolitenessGreedy().solve(problem)
+        seeds.append([list(g) for g in pg.schedule.groups])
+
+        per = max(self.elites + 2, self.population)
+        pop: List[List[List[int]]] = [
+            [list(g) for g in s] for s in seeds[:per]
+        ]
+        while len(pop) < per:
+            pop.append(random_assignment())
+        fits: List[float] = []
+        for groups in pop:
+            fits.append(evaluate(groups))
+            budget.charge()
+        evaluations = len(pop)
+
+        best_i = int(np.argmin(fits))
+        best_obj = fits[best_i]
+        best_groups = [list(g) for g in pop[best_i]]
+        generation = 0
+        stalled = 0
+        converged = False
+        stopped = budget.exhausted()
+
+        while generation < self.generations and stopped is None:
+            order = np.argsort(fits, kind="stable")
+            new_pop = [pop[i] for i in order[:self.elites]]
+            new_fits = [fits[i] for i in order[:self.elites]]
+            while len(new_pop) < per and stopped is None:
+                ca = rng.integers(0, per, size=self.tournament)
+                cb = rng.integers(0, per, size=self.tournament)
+                pa = pop[min(ca, key=lambda i: fits[i])]
+                pb = pop[min(cb, key=lambda i: fits[i])]
+                child = mutate(crossover(pa, pb))
+                new_pop.append(child)
+                new_fits.append(evaluate(child))
+                evaluations += 1
+                budget.charge()
+                stopped = budget.exhausted()
+            pop = new_pop
+            fits = new_fits
+            generation += 1
+            gen_best = int(np.argmin(fits))
+            if fits[gen_best] < best_obj - 1e-12:
+                best_obj = fits[gen_best]
+                best_groups = [list(g) for g in pop[gen_best]]
+                stalled = 0
+                if tracer is not None:
+                    tracer.emit("incumbent", solver=self.name,
+                                objective=best_obj, generation=generation)
+            else:
+                stalled += 1
+            if stopped is None:
+                stopped = budget.exhausted()
+            if stopped is None and stalled >= self.stall:
+                converged = True
+                if tracer is not None:
+                    tracer.emit("evo_converge", solver=self.name,
+                                generation=generation, best=best_obj,
+                                stalled=stalled)
+                break
+
+        polish_evals = 0
+        if stopped is None and self.polish > 0:
+            start = problem.make_schedule(best_groups)
+            climber = SwapHillClimber(max_passes=1_000_000, seed=self.seed,
+                                      name="polish-hill")
+            result = climber.solve(problem, budget=budget.remaining(),
+                                   initial_schedule=start)
+            polish_evals = int(result.stats.get("evaluations", 1))
+            evaluations += polish_evals
+            budget.charge(polish_evals)
+            if result.schedule is not None and (
+                    result.objective < best_obj - 1e-12):
+                best_obj = float(result.objective)
+                best_groups = [list(g) for g in result.schedule.groups]
+                if tracer is not None:
+                    tracer.emit("incumbent", solver=self.name,
+                                objective=best_obj, generation=generation)
+            stopped = budget.exhausted()
+
+        if stopped is not None and tracer is not None:
+            tracer.emit("budget_stop", solver=self.name, reason=stopped,
+                        evaluations=evaluations)
+        schedule = problem.make_schedule(best_groups)
+        return SolveResult(
+            solver=self.name,
+            schedule=schedule,
+            objective=best_obj,
+            time_seconds=0.0,
+            stats={
+                "generations": generation,
+                "islands": 1,
+                "population": per,
+                "evaluations": evaluations,
+                "migrations": 0,
+                "converged": converged,
+                "polish_evaluations": polish_evals,
+                "heterogeneous": True,
+            },
+        )
+
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        if problem.is_scenario:
+            # Ragged machine groups break the rectangular (m, u) genome
+            # arrays; the scenario path evolves machine-indexed lists.
+            return self._solve_scenario(problem)
         budget = self._active_budget()
         tracer = problem.counters.tracer
         n, u, m = problem.n, problem.u, problem.n_machines

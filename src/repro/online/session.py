@@ -261,6 +261,10 @@ class ProblemSession:
         """Copy known node weights of intact machines into the new
         problem's memo (valid: weights are machine-local for the serial
         no-comm problems this session builds)."""
+        if old_problem.is_scenario or problem.is_scenario:
+            # Scenario weights are machine-*indexed* (scaling, per-machine
+            # penalties), so a group's weight is not portable by pids alone.
+            return
         u = self.cluster.cores
         inverse = {b: n for n, b in delta.survivors.items()}
         for group in old_schedule.groups:

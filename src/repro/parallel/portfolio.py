@@ -56,6 +56,11 @@ class PortfolioSolver(Solver):
         self.members = [
             create_solver(m) if isinstance(m, str) else m for m in members
         ]
+        # A race is only as scenario-capable as all of its lanes.
+        caps = frozenset({"heterogeneous", "constraints"})
+        for member in self.members:
+            caps &= member.scenario_capabilities
+        self.scenario_capabilities = caps
         self.workers = workers
         self.name = name or f"portfolio[{len(self.members)}]"
 

@@ -56,13 +56,14 @@ import numpy as np
 
 __all__ = ["run_bench", "validate", "write_bench", "find_baseline",
            "trajectory", "trajectory_markdown",
-           "SCHEMA", "SCHEMA_V1", "SCHEMA_V2", "SCHEMA_V3"]
+           "SCHEMA", "SCHEMA_V1", "SCHEMA_V2", "SCHEMA_V3", "SCHEMA_V4"]
 
 #: Schema tag embedded in every new bench document.
-SCHEMA = "cosched-bench/4"
+SCHEMA = "cosched-bench/5"
 #: Prior schemas, still accepted by :func:`validate` (v1 documents
 #: predate the ``service`` section, v2 the ``online`` one, v3 the
-#: ``evolve`` one).
+#: ``evolve`` one, v4 the ``scenarios`` one).
+SCHEMA_V4 = "cosched-bench/4"
 SCHEMA_V3 = "cosched-bench/3"
 SCHEMA_V2 = "cosched-bench/2"
 SCHEMA_V1 = "cosched-bench/1"
@@ -86,6 +87,9 @@ _REQUIRED_EVOLVE = ("solvers", "seeds", "points",
                     "genetic_beats_hill")
 _REQUIRED_EVOLVE_POINT = ("n", "u", "wall_budget_s", "per_seed", "median",
                           "genetic_vs")
+_REQUIRED_SCENARIOS = ("solvers", "seeds", "machines", "points",
+                       "het_vs_homog")
+_REQUIRED_SCENARIOS_POINT = ("variant", "n", "per_seed", "median")
 
 
 def _git_revision() -> str:
@@ -408,6 +412,72 @@ def _evolve_case(smoke: bool) -> Dict[str, object]:
     }
 
 
+def _scenarios_case(smoke: bool) -> Dict[str, object]:
+    """Solver quality on homogeneous vs heterogeneous variants of the
+    same workload (``docs/SCENARIOS.md``).
+
+    Both variants draw the *same* miss rates (same seed, same generator
+    stream), so the only difference is the cluster: uniform quad-core
+    machines versus a quad + eight roster with a bandwidth cap on the
+    quad and clock-ratio scaling.  ``het_vs_homog`` records, per solver,
+    the median heterogeneous objective over the median homogeneous one —
+    how much of the homogeneous solution quality each heuristic keeps
+    when the machine roster stops being uniform.
+    """
+    from ..runtime import run_solve
+    from ..workloads.synthetic import (
+        random_heterogeneous_instance,
+        random_serial_instance,
+    )
+
+    machines = ("quad", "eight")
+    n = 12  # sum of the roster's cores; the homogeneous twin uses 3 quads
+    seeds = [0, 1] if smoke else [0, 1, 2, 3, 4]
+    solvers = ["pg", "hill", "anneal", "genetic"]
+
+    def spec_for(solver: str, seed: int) -> str:
+        if solver == "pg":
+            return "pg"
+        if solver == "genetic":
+            return f"genetic?seed={seed}&generations=40"
+        return f"{solver}?seed={seed}"
+
+    def variant_point(variant: str) -> Dict[str, object]:
+        per_seed: Dict[str, List[float]] = {s: [] for s in solvers}
+        for seed in seeds:
+            if variant == "homogeneous":
+                problem = random_serial_instance(
+                    n, "quad", seed=seed, saturation=0.9)
+            else:
+                problem = random_heterogeneous_instance(
+                    machines, seed=seed, saturation=0.9,
+                    bandwidth_caps=(2.5e9, None), clock_scaling=True)
+            for solver in solvers:
+                problem.clear_caches()
+                report = run_solve(problem, spec_for(solver, seed))
+                per_seed[solver].append(float(report.result.objective))
+        return {
+            "variant": variant,
+            "n": n,
+            "per_seed": per_seed,
+            "median": {s: statistics.median(per_seed[s]) for s in solvers},
+        }
+
+    points = [variant_point("homogeneous"), variant_point("heterogeneous")]
+    homog, het = points[0]["median"], points[1]["median"]
+    return {
+        "solvers": solvers,
+        "seeds": seeds,
+        "machines": list(machines),
+        "constraints": ["bandwidth_cap"],
+        "points": points,
+        "het_vs_homog": {
+            s: (het[s] / homog[s]) if homog[s] > 0 else math.inf
+            for s in solvers
+        },
+    }
+
+
 def find_baseline(results_dir: str,
                   current_revision: str) -> Optional[Dict[str, object]]:
     """The newest valid ``BENCH_*.json`` for a *different* revision.
@@ -467,6 +537,7 @@ def run_bench(
         "service": _service_case(smoke),
         "online": _online_case(smoke),
         "evolve": _evolve_case(smoke),
+        "scenarios": _scenarios_case(smoke),
     }
     baseline = None
     if results_dir:
@@ -494,10 +565,11 @@ def validate(doc: object) -> None:
     for key in _REQUIRED_TOP:
         if key not in doc:
             raise ValueError(f"missing key: {key}")
-    if doc["schema"] not in (SCHEMA, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1):
+    known = (SCHEMA, SCHEMA_V4, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1)
+    if doc["schema"] not in known:
         raise ValueError(
-            f"schema must be {SCHEMA!r}, {SCHEMA_V3!r}, {SCHEMA_V2!r} or "
-            f"{SCHEMA_V1!r}, got {doc['schema']!r}"
+            f"schema must be one of {', '.join(repr(s) for s in known)}, "
+            f"got {doc['schema']!r}"
         )
     if doc["kernel_backend"] not in ("native", "numpy"):
         raise ValueError("kernel_backend must be 'native' or 'numpy'")
@@ -603,6 +675,48 @@ def validate(doc: object) -> None:
             if not isinstance(point["median"].get(solver), (int, float)):
                 raise ValueError(
                     f"evolve.points[{i}].median.{solver} must be a number")
+    if doc["schema"] == SCHEMA_V4:
+        return  # v4 documents predate the scenarios section
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, dict):
+        raise ValueError("missing key: scenarios")
+    for key in _REQUIRED_SCENARIOS:
+        if key not in scenarios:
+            raise ValueError(f"missing key: scenarios.{key}")
+    ssolvers = scenarios["solvers"]
+    if not isinstance(ssolvers, list) or not ssolvers:
+        raise ValueError("scenarios.solvers must be a non-empty list")
+    spoints = scenarios["points"]
+    if not isinstance(spoints, list) or len(spoints) < 2:
+        raise ValueError(
+            "scenarios.points must list the homogeneous and heterogeneous "
+            "variants")
+    variants = {p.get("variant") for p in spoints}
+    if not {"homogeneous", "heterogeneous"} <= variants:
+        raise ValueError(
+            "scenarios.points must cover the 'homogeneous' and "
+            "'heterogeneous' variants")
+    for i, point in enumerate(spoints):
+        for key in _REQUIRED_SCENARIOS_POINT:
+            if key not in point:
+                raise ValueError(f"missing key: scenarios.points[{i}].{key}")
+        for solver in ssolvers:
+            vals = point["per_seed"].get(solver)
+            if (not isinstance(vals, list)
+                    or len(vals) != len(scenarios["seeds"])
+                    or not all(isinstance(v, (int, float)) for v in vals)):
+                raise ValueError(
+                    f"scenarios.points[{i}].per_seed.{solver} must list "
+                    f"one number per seed")
+            if not isinstance(point["median"].get(solver), (int, float)):
+                raise ValueError(
+                    f"scenarios.points[{i}].median.{solver} must be a "
+                    f"number")
+    for solver in ssolvers:
+        if not isinstance(scenarios["het_vs_homog"].get(solver),
+                          (int, float)):
+            raise ValueError(
+                f"scenarios.het_vs_homog.{solver} must be a number")
 
 
 def write_bench(doc: Dict[str, object], path: str) -> None:
@@ -620,8 +734,9 @@ def trajectory(results_dir: str) -> List[Dict[str, object]]:
     row per document, oldest first.
 
     Rows normalize across schema versions: v1 documents have no
-    ``service`` section, v1/v2 no ``online`` section, and v1–v3 no
-    ``evolve`` section, so those columns are ``None`` there.  Unreadable or schema-invalid files are skipped
+    ``service`` section, v1/v2 no ``online`` section, v1–v3 no
+    ``evolve`` section, and v1–v4 no ``scenarios`` section, so those
+    columns are ``None`` there.  Unreadable or schema-invalid files are skipped
     (same policy as :func:`find_baseline`).  ``cosched bench
     --trajectory`` renders this as the cross-revision table.
     """
@@ -645,6 +760,7 @@ def trajectory(results_dir: str) -> List[Dict[str, object]]:
         service = doc.get("service")
         online = doc.get("online")
         evolve = doc.get("evolve")
+        scenarios = doc.get("scenarios")
         evolve_vs_hill = None
         if evolve:
             # Margin at the largest point: positive = genetic's median
@@ -677,6 +793,12 @@ def trajectory(results_dir: str) -> List[Dict[str, object]]:
                 evolve["genetic_never_worse_than_pg"] if evolve else None
             ),
             "evolve_vs_hill": evolve_vs_hill,
+            # Pre-v5 documents have no scenarios section — column stays
+            # blank for them.
+            "scenario_het_ratio": (
+                scenarios["het_vs_homog"].get("genetic")
+                if scenarios else None
+            ),
         })
     rows.sort(key=lambda r: r["created_unix"])
     return rows
@@ -686,8 +808,8 @@ def trajectory_markdown(rows: List[Dict[str, object]]) -> str:
     """Render :func:`trajectory` rows as a GitHub-flavored markdown table."""
     header = ("| revision | schema | backend | smoke | solve p50 (ms) "
               "| nodes/s | service x | online x | regret | evo≥pg "
-              "| evo Δhill |")
-    rule = ("|---|---|---|---|---:|---:|---:|---:|---:|---|---:|")
+              "| evo Δhill | het/homog |")
+    rule = ("|---|---|---|---|---:|---:|---:|---:|---:|---|---:|---:|")
 
     def num(v, fmt="{:.2f}"):
         return fmt.format(v) if isinstance(v, (int, float)) else "—"
@@ -707,6 +829,7 @@ def trajectory_markdown(rows: List[Dict[str, object]]) -> str:
             f"| {num(r['online_speedup'])} "
             f"| {num(r['online_mean_regret'], '{:.4f}')} "
             f"| {flag(r.get('evolve_never_worse'))} "
-            f"| {num(r.get('evolve_vs_hill'), '{:+.5f}')} |"
+            f"| {num(r.get('evolve_vs_hill'), '{:+.5f}')} "
+            f"| {num(r.get('scenario_het_ratio'))} |"
         )
     return "\n".join(lines)

@@ -113,6 +113,15 @@ class SolverInfo:
         reduced serial sub-problems repair extracts and honors warm
         starts.  ``RepairSolver`` rejects non-advertising bases with a
         structured ``SpecError`` (reason ``"repair_base"``).
+    ``supports_heterogeneous`` / ``supports_constraints``
+        The solver handles scenario problems — heterogeneous machine
+        rosters (per-machine capacities and speed scaling) and pluggable
+        :class:`~repro.core.constraints.ScenarioConstraint` penalties.
+        The flags mirror the instance's ``scenario_capabilities`` set;
+        admission control rejects specs whose flags do not cover
+        ``problem.required_capabilities()`` with a structured
+        ``SpecError`` (reason ``"unsupported_scenario"``) before any
+        search runs (see docs/SCENARIOS.md).
     ``param_aliases``
         Spec-parameter shorthands, e.g. HA*'s ``mer`` for ``beam_width``.
     """
@@ -127,6 +136,8 @@ class SolverInfo:
     supports_workers: bool = False
     supports_trace: bool = True
     supports_repair: bool = False
+    supports_heterogeneous: bool = False
+    supports_constraints: bool = False
     param_aliases: Mapping[str, str] = field(default_factory=dict)
 
     @property
@@ -144,7 +155,20 @@ class SolverInfo:
             "supports_workers": self.supports_workers,
             "supports_trace": self.supports_trace,
             "supports_repair": self.supports_repair,
+            "supports_heterogeneous": self.supports_heterogeneous,
+            "supports_constraints": self.supports_constraints,
         }
+
+    def scenario_flags(self) -> frozenset:
+        """The declared scenario capability set, in the same vocabulary as
+        ``Solver.scenario_capabilities`` / ``problem.required_capabilities()``.
+        """
+        flags = set()
+        if self.supports_heterogeneous:
+            flags.add("heterogeneous")
+        if self.supports_constraints:
+            flags.add("constraints")
+        return frozenset(flags)
 
 
 @dataclass(frozen=True)
@@ -341,6 +365,8 @@ def _make_portfolio(members=None, **kwargs) -> Solver:
 
 register(SolverInfo(
     name="oastar",
+    supports_heterogeneous=True,
+    supports_constraints=True,
     aliases=("oa", "oa*"),
     factory=OAStar,
     summary="exact extended A* over the co-scheduling graph (Section III)",
@@ -351,6 +377,8 @@ register(SolverInfo(
 ))
 register(SolverInfo(
     name="hastar",
+    supports_heterogeneous=True,
+    supports_constraints=True,
     aliases=("ha", "ha*"),
     factory=HAStar,
     summary="MER-trimmed A*: near-optimal, orders of magnitude fewer nodes",
@@ -362,6 +390,8 @@ register(SolverInfo(
 ))
 register(SolverInfo(
     name="osvp",
+    supports_heterogeneous=True,
+    supports_constraints=True,
     aliases=("o-svp",),
     factory=OSVP,
     summary="the authors' earlier exact Dijkstra search (MASCOTS'14)",
@@ -372,6 +402,8 @@ register(SolverInfo(
 ))
 register(SolverInfo(
     name="pg",
+    supports_heterogeneous=True,
+    supports_constraints=True,
     aliases=("greedy", "politeness"),
     factory=PolitenessGreedy,
     summary="politeness-greedy placement (Section V) — fast, always finishes",
@@ -397,6 +429,8 @@ register(SolverInfo(
 ))
 register(SolverInfo(
     name="hill",
+    supports_heterogeneous=True,
+    supports_constraints=True,
     aliases=("hillclimb",),
     factory=SwapHillClimber,
     summary="steepest-descent pairwise swaps to a swap-local optimum",
@@ -406,6 +440,8 @@ register(SolverInfo(
 ))
 register(SolverInfo(
     name="anneal",
+    supports_heterogeneous=True,
+    supports_constraints=True,
     aliases=("annealing", "sa"),
     factory=SimulatedAnnealing,
     summary="Metropolis swap annealing with geometric cooling",
@@ -415,6 +451,8 @@ register(SolverInfo(
 ))
 register(SolverInfo(
     name="genetic",
+    supports_heterogeneous=True,
+    supports_constraints=True,
     aliases=("ga", "evolve", "memetic"),
     factory=_make_genetic,
     summary="population-based memetic search: batched fitness, island "
@@ -427,6 +465,8 @@ register(SolverInfo(
 ))
 register(SolverInfo(
     name="brute",
+    supports_heterogeneous=True,
+    supports_constraints=True,
     aliases=("bruteforce", "exhaustive"),
     factory=BruteForce,
     summary="exhaustive partition enumeration (tiny instances only)",
@@ -444,6 +484,8 @@ register(SolverInfo(
 ))
 register(SolverInfo(
     name="fallback",
+    supports_heterogeneous=True,
+    supports_constraints=True,
     aliases=("cascade",),
     factory=FallbackChain,
     summary="anytime cascade OA* > HA* > PG under one budget "
@@ -454,6 +496,8 @@ register(SolverInfo(
 ))
 register(SolverInfo(
     name="portfolio",
+    supports_heterogeneous=True,
+    supports_constraints=True,
     aliases=(),
     factory=_make_portfolio,
     summary="race several member solvers, keep the best schedule "

@@ -33,9 +33,9 @@ from typing import Dict, List, Optional, Union
 
 from ..core.problem import CoSchedulingProblem
 from ..perf import kernels as _kernels
-from ..solvers.base import Solver, SolveResult
+from ..solvers.base import CapabilityError, Solver, SolveResult
 from ..solvers.budget import Budget
-from .registry import SolverSpec, create_solver, get_info, parse_spec
+from .registry import SolverSpec, SpecError, create_solver, get_info, parse_spec
 
 __all__ = ["SolveReport", "run_solve"]
 
@@ -177,7 +177,11 @@ def run_solve(
     ------
     SpecError
         When the spec does not resolve (unknown solver, malformed or
-        rejected parameters).  Solver-side failures propagate as-is.
+        rejected parameters), or when the problem carries scenario
+        features (heterogeneous roster, constraints) the solver does not
+        declare support for (reason ``"unsupported_scenario"`` — the
+        solver must fail structurally, never return a wrong schedule).
+        Solver-side failures propagate as-is.
     """
     if isinstance(spec, Solver):
         solver = spec
@@ -185,11 +189,33 @@ def run_solve(
         can_fan_out = hasattr(solver, "parallel_workers") or hasattr(
             solver, "workers"
         )
+        declared = getattr(solver, "scenario_capabilities", frozenset())
     else:
         parsed = parse_spec(spec) if isinstance(spec, str) else spec
+        info = get_info(parsed.name)
+        missing = problem.required_capabilities() - info.scenario_flags()
+        if missing:
+            raise SpecError(
+                "unsupported_scenario",
+                f"solver {parsed.canonical()!r} does not support scenario "
+                f"feature(s) {sorted(missing)} required by this problem; "
+                f"see docs/SCENARIOS.md for the solver support matrix",
+            )
         solver = create_solver(parsed)
         spec_str = parsed.canonical()
-        can_fan_out = get_info(parsed.name).supports_workers
+        can_fan_out = info.supports_workers
+        declared = getattr(solver, "scenario_capabilities", frozenset())
+    # Instance-level check: composite solvers (fallback?chain=...,
+    # portfolio?members=...) narrow their capabilities to the member
+    # intersection, which can be stricter than the registry entry.
+    missing = problem.required_capabilities() - declared
+    if missing:
+        raise SpecError(
+            "unsupported_scenario",
+            f"solver {spec_str!r} does not support scenario feature(s) "
+            f"{sorted(missing)} required by this problem; see "
+            f"docs/SCENARIOS.md for the solver support matrix",
+        )
     applied = _apply_workers(solver, workers) if can_fan_out else 1
 
     counters = getattr(problem, "counters", None)
@@ -199,6 +225,10 @@ def run_solve(
     try:
         result = solver.solve(problem, budget=budget,
                               initial_schedule=warm_start)
+    except CapabilityError as exc:
+        # Safety net: a solver that slipped past the declared-capability
+        # checks still refuses structurally rather than mis-scheduling.
+        raise SpecError("unsupported_scenario", str(exc)) from exc
     finally:
         # Restore whatever was attached before — the session must leave
         # the problem exactly as it found it.

@@ -44,6 +44,7 @@ from ..core.degradation import (
     MissRatePressureModel,
     SDCDegradationModel,
 )
+from ..core.constraints import constraint_from_dict, constraint_to_dict
 from ..core.jobs import Job, JobKind, Workload
 from ..core.machine import CacheSpec, ClusterSpec, MachineSpec
 from ..core.problem import CoSchedulingProblem
@@ -53,6 +54,7 @@ from ..workloads.catalog import ProgramProfile
 __all__ = [
     "CodecError",
     "FORMAT_VERSION",
+    "FORMAT_VERSION_SCENARIO",
     "problem_to_dict",
     "problem_from_dict",
     "save_problem",
@@ -67,7 +69,14 @@ __all__ = [
 ]
 
 #: Version stamped into every encoded document; bump on schema changes.
+#: Version 1 is the homogeneous encoding; version 2 adds per-machine
+#: rosters, scenario constraints and machine scaling.  Homogeneous
+#: problems still emit version-1 documents (byte-identical to
+#: pre-scenario builds, so fingerprints and caches carry over); the
+#: version-2 shape is reserved for problems that need it.
 FORMAT_VERSION = 1
+FORMAT_VERSION_SCENARIO = 2
+_READ_VERSIONS = (FORMAT_VERSION, FORMAT_VERSION_SCENARIO)
 
 
 class CodecError(ValueError):
@@ -98,28 +107,23 @@ def _canonical_json(obj) -> str:
 # --------------------------------------------------------------------- #
 
 
-def _cluster_to_dict(cluster: ClusterSpec) -> dict:
-    m = cluster.machine
+def _machine_to_dict(m: MachineSpec) -> dict:
     return {
-        "machine": {
-            "name": m.name,
-            "cores": m.cores,
-            "clock_hz": _f(m.clock_hz),
-            "miss_penalty_cycles": _f(m.miss_penalty_cycles),
-            "cache": {
-                "size_bytes": m.shared_cache.size_bytes,
-                "associativity": m.shared_cache.associativity,
-                "line_bytes": m.shared_cache.line_bytes,
-            },
+        "name": m.name,
+        "cores": m.cores,
+        "clock_hz": _f(m.clock_hz),
+        "miss_penalty_cycles": _f(m.miss_penalty_cycles),
+        "cache": {
+            "size_bytes": m.shared_cache.size_bytes,
+            "associativity": m.shared_cache.associativity,
+            "line_bytes": m.shared_cache.line_bytes,
         },
-        "bandwidth_bytes_per_s": _f(cluster.bandwidth_bytes_per_s),
     }
 
 
-def _cluster_from_dict(d: dict) -> ClusterSpec:
-    m = d["machine"]
+def _machine_from_dict(m: dict) -> MachineSpec:
     c = m["cache"]
-    machine = MachineSpec(
+    return MachineSpec(
         name=str(m.get("name", "machine")),
         cores=int(m["cores"]),
         shared_cache=CacheSpec(
@@ -130,8 +134,27 @@ def _cluster_from_dict(d: dict) -> ClusterSpec:
         clock_hz=float(m["clock_hz"]),
         miss_penalty_cycles=float(m["miss_penalty_cycles"]),
     )
-    return ClusterSpec(machine=machine,
-                       bandwidth_bytes_per_s=float(d["bandwidth_bytes_per_s"]))
+
+
+def _cluster_to_dict(cluster: ClusterSpec) -> dict:
+    out = {
+        "machine": _machine_to_dict(cluster.machine),
+        "bandwidth_bytes_per_s": _f(cluster.bandwidth_bytes_per_s),
+    }
+    if cluster.machines:
+        # Version-2 roster form: the explicit machine list is authoritative,
+        # "machine" stays as the reference spec for forward readability.
+        out["machines"] = [_machine_to_dict(m) for m in cluster.machines]
+    return out
+
+
+def _cluster_from_dict(d: dict) -> ClusterSpec:
+    bandwidth = float(d["bandwidth_bytes_per_s"])
+    if d.get("machines"):
+        roster = tuple(_machine_from_dict(m) for m in d["machines"])
+        return ClusterSpec.of_machines(roster, bandwidth_bytes_per_s=bandwidth)
+    return ClusterSpec(machine=_machine_from_dict(d["machine"]),
+                       bandwidth_bytes_per_s=bandwidth)
 
 
 def _topology_to_dict(topo: Decomposition) -> dict:
@@ -297,36 +320,55 @@ def _model_from_dict(d: dict, workload: Workload, cluster: ClusterSpec):
 
 
 def problem_to_dict(problem: CoSchedulingProblem) -> dict:
-    """Encode a problem as a JSON-safe dict (the plain, faithful form)."""
+    """Encode a problem as a JSON-safe dict (the plain, faithful form).
+
+    Homogeneous, unconstrained problems emit the version-1 document —
+    byte-identical to pre-scenario builds.  Problems with a machine
+    roster, scenario constraints or machine scaling emit version 2.
+    """
     if problem.node_extra_cost is not None:
         raise CodecError(
             "problems with a node_extra_cost hook (an arbitrary callable) "
             "cannot be serialized"
         )
-    return {
+    scenario = problem.is_scenario or bool(problem.cluster.machines)
+    out = {
         "format": "repro.problem",
-        "version": FORMAT_VERSION,
+        "version": FORMAT_VERSION_SCENARIO if scenario else FORMAT_VERSION,
         "cluster": _cluster_to_dict(problem.cluster),
         "jobs": [_job_to_dict(job) for job in problem.workload.jobs],
         "model": _model_to_dict(problem),
         "comm": problem.comm is not None,
     }
+    if scenario:
+        out["constraints"] = [
+            constraint_to_dict(c) for c in problem.constraints
+        ]
+        if any(s != 1.0 for s in problem.machine_scale):
+            out["machine_scale"] = _floats(problem.machine_scale)
+    return out
 
 
 def problem_from_dict(d: dict) -> CoSchedulingProblem:
-    """Rebuild a problem from :func:`problem_to_dict` output."""
+    """Rebuild a problem from :func:`problem_to_dict` output (either
+    version — old homogeneous payloads still decode)."""
     if d.get("format") != "repro.problem":
         raise CodecError(
             f"not a repro.problem document (format={d.get('format')!r})"
         )
-    if d.get("version") != FORMAT_VERSION:
+    version = d.get("version")
+    if version not in _READ_VERSIONS:
         raise CodecError(
-            f"unsupported problem format version {d.get('version')!r} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"unsupported problem format version {version!r} "
+            f"(this build reads versions {sorted(_READ_VERSIONS)})"
         )
     cluster = _cluster_from_dict(d["cluster"])
     jobs = [_job_from_dict(i, jd) for i, jd in enumerate(d["jobs"])]
-    workload = Workload(jobs, cores_per_machine=cluster.cores)
+    if cluster.machines:
+        # Roster problems never pad: capacities must cover the workload.
+        workload = Workload(jobs)
+    else:
+        workload = Workload(jobs, cores_per_machine=cluster.cores)
     model = _model_from_dict(d["model"], workload, cluster)
     # Per-pid parameter arrays must cover the padded workload.
     for key in ("miss_rates", "sensitivities", "single_times"):
@@ -339,7 +381,18 @@ def problem_from_dict(d: dict) -> CoSchedulingProblem:
     comm = None
     if d.get("comm"):
         comm = CommunicationModel(workload, cluster.bandwidth_bytes_per_s)
-    return CoSchedulingProblem(workload, cluster, model, comm)
+    try:
+        constraints = [
+            constraint_from_dict(cd) for cd in d.get("constraints", ())
+        ]
+    except ValueError as exc:
+        raise CodecError(f"invalid constraint document: {exc}") from exc
+    scale = d.get("machine_scale")
+    return CoSchedulingProblem(
+        workload, cluster, model, comm,
+        constraints=constraints,
+        machine_scaling=None if scale is None else [float(s) for s in scale],
+    )
 
 
 def save_problem(problem: CoSchedulingProblem, path: str) -> str:
@@ -412,6 +465,17 @@ def _canonical_jobs(problem: CoSchedulingProblem) -> Tuple[list, Dict[int, int]]
                 else sorted(_topology_to_dict(job.topology).items()))
         desc = [job.kind.value, job.nprocs, topo,
                 _job_param_descriptor(problem, job)]
+        if problem.constraints:
+            # Per-pid constraint data (bandwidth demands, cache
+            # footprints, ...) distinguishes jobs whose model parameters
+            # tie, so the canonical order stays relabeling-invariant.
+            # Only added when constraints exist — the homogeneous shape
+            # (and its fingerprints) must stay byte-identical.
+            desc.append([
+                [[c.kind] + [getattr(c, f)[p] for f in c.per_pid_fields]
+                 for c in problem.constraints]
+                for p in wl.processes_of(job.job_id)
+            ])
         descriptors.append((_canonical_json(desc), job.job_id, desc))
     descriptors.sort(key=lambda t: (t[0], t[1]))
 
@@ -450,8 +514,20 @@ def canonical_pid_map(problem: CoSchedulingProblem) -> List[int]:
 
 def schedule_to_canonical(problem: CoSchedulingProblem,
                           schedule: CoSchedule) -> CoSchedule:
-    """Re-express ``schedule`` (in ``problem``'s labeling) in canonical pids."""
+    """Re-express ``schedule`` (in ``problem``'s labeling) in canonical pids.
+
+    Scenario schedules are machine-bound, so their groups are also
+    permuted into the problem's canonical machine order (the order the
+    fingerprint's roster uses) — two relabelings of the same scenario
+    problem share one canonical schedule.
+    """
     m = canonical_pid_map(problem)
+    if schedule.capacities is not None:
+        order = problem.canonical_machine_order()
+        return CoSchedule.from_machine_groups(
+            [[m[p] for p in schedule.groups[k]] for k in order],
+            capacities=[problem.capacities[k] for k in order],
+        )
     return CoSchedule.from_groups(
         [[m[p] for p in g] for g in schedule.groups], u=schedule.u
     )
@@ -464,6 +540,12 @@ def schedule_from_canonical(problem: CoSchedulingProblem,
     inv = [0] * len(m)
     for old, new in enumerate(m):
         inv[new] = old
+    if schedule.capacities is not None:
+        order = problem.canonical_machine_order()
+        groups = [()] * problem.n_machines
+        for slot, k in enumerate(order):
+            groups[k] = [inv[p] for p in schedule.groups[slot]]
+        return problem.make_schedule(groups)
     return CoSchedule.from_groups(
         [[inv[p] for p in g] for g in schedule.groups], u=schedule.u
     )
@@ -523,7 +605,7 @@ def canonical_problem(problem: CoSchedulingProblem) -> dict:
         raise CodecError(f"model {type(model).__name__} has no canonical form")
 
     m = problem.cluster.machine
-    return {
+    out = {
         "format": "repro.problem.canonical",
         "version": FORMAT_VERSION,
         "u": problem.u,
@@ -538,6 +620,38 @@ def canonical_problem(problem: CoSchedulingProblem) -> dict:
         "jobs": jobs_canon,
         "model": model_canon,
     }
+    if problem.is_scenario:
+        # Scenario extension: the machine roster in canonical slot order
+        # (capacity-descending, then identity — invariant under machine
+        # relabeling) and the constraints re-expressed in canonical pids
+        # and canonical machine order.  Homogeneous problems never reach
+        # this branch, so their canonical bytes are unchanged.
+        out["version"] = FORMAT_VERSION_SCENARIO
+        order = problem.canonical_machine_order()
+        out["machines"] = [
+            [
+                problem.machines[k].cores,
+                problem.machines[k].shared_cache.size_bytes,
+                problem.machines[k].shared_cache.associativity,
+                problem.machines[k].shared_cache.line_bytes,
+                _f(problem.machines[k].clock_hz),
+                _f(problem.machines[k].miss_penalty_cycles),
+                _f(problem.machine_scale[k]),
+            ]
+            for k in order
+        ]
+        constraints_canon = [
+            constraint_to_dict(
+                c.relabeled(
+                    [new_pid_of[p] for p in range(problem.n)]
+                ).machines_reordered(order)
+            )
+            for c in problem.constraints
+        ]
+        out["constraints"] = sorted(
+            constraints_canon, key=_canonical_json
+        )
+    return out
 
 
 def problem_fingerprint(problem: CoSchedulingProblem) -> str:
@@ -553,26 +667,41 @@ def problem_fingerprint(problem: CoSchedulingProblem) -> str:
 
 
 def schedule_to_dict(schedule: CoSchedule) -> dict:
-    """Encode a schedule (canonical already — groups sorted by construction)."""
-    return {
+    """Encode a schedule (canonical already — groups sorted by construction).
+
+    Machine-bound scenario schedules carry their per-machine
+    ``capacities`` and stamp version 2; homogeneous schedules keep the
+    version-1 bytes.
+    """
+    out = {
         "format": "repro.schedule",
         "version": FORMAT_VERSION,
         "u": schedule.u,
         "groups": [list(g) for g in schedule.groups],
     }
+    if schedule.capacities is not None:
+        out["version"] = FORMAT_VERSION_SCENARIO
+        out["capacities"] = list(schedule.capacities)
+    return out
 
 
 def schedule_from_dict(d: dict) -> CoSchedule:
-    """Rebuild (and re-validate) a schedule from :func:`schedule_to_dict`."""
+    """Rebuild (and re-validate) a schedule from :func:`schedule_to_dict`
+    (either version)."""
     if d.get("format") != "repro.schedule":
         raise CodecError(
             f"not a repro.schedule document (format={d.get('format')!r})"
         )
-    if d.get("version") != FORMAT_VERSION:
+    if d.get("version") not in _READ_VERSIONS:
         raise CodecError(
             f"unsupported schedule format version {d.get('version')!r}"
         )
     try:
+        if d.get("capacities") is not None:
+            return CoSchedule.from_machine_groups(
+                [[int(p) for p in g] for g in d["groups"]],
+                capacities=[int(c) for c in d["capacities"]],
+            )
         return CoSchedule.from_groups(
             [[int(p) for p in g] for g in d["groups"]], u=int(d["u"])
         )

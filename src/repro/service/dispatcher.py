@@ -586,7 +586,8 @@ class _DispatcherHandler(BaseHTTPRequestHandler):
                 self._reply(503, exc.to_dict(),
                             retry_after=self.server.retry_after)
                 return
-            bad_spec = ("unknown_solver", "bad_spec", "bad_param")
+            bad_spec = ("unknown_solver", "bad_spec", "bad_param",
+                        "unsupported_scenario")
             status = 400 if exc.reason in bad_spec else 429
             self._reply(status, exc.to_dict())
             return

@@ -50,6 +50,7 @@ from ..perf.counters import PerfCounters
 from ..runtime import (
     SpecError,
     create_solver,
+    get_info,
     parse_spec,
     resolve_shed_policy,
     run_solve,
@@ -114,12 +115,17 @@ class ServiceTicket:
     def __init__(self, ticket_id: str, fingerprint: str, solver: str,
                  priority: int, pid_map: Optional[List[int]] = None,
                  stale_partial: Optional[List[tuple]] = None,
-                 base_fingerprint: Optional[str] = None):
+                 base_fingerprint: Optional[str] = None,
+                 machine_order: Optional[List[int]] = None):
         self.ticket_id = ticket_id
         self.fingerprint = fingerprint
         self.solver = solver
         self.priority = priority
         self._pid_map = pid_map
+        #: Scenario problems: the submitter's canonical machine order
+        #: (store entries hold machine-bound schedules in canonical slot
+        #: order; resolving maps slots back to the submitter's machines).
+        self._machine_order = machine_order
         #: Delta submissions (``POST /delta``): surviving machine groups of
         #: the base schedule in this problem's pids, attached before the
         #: ticket enters the heap so the worker sees them race-free.
@@ -154,6 +160,16 @@ class ServiceTicket:
         inv = [0] * len(self._pid_map)
         for old, new in enumerate(self._pid_map):
             inv[new] = old
+        if schedule.capacities is not None and self._machine_order is not None:
+            # Machine-bound schedule: slot i of the canonical schedule is
+            # the submitter's machine machine_order[i].
+            order = self._machine_order
+            groups: List[List[int]] = [[] for _ in order]
+            caps = [0] * len(order)
+            for slot, k in enumerate(order):
+                groups[k] = [inv[p] for p in schedule.groups[slot]]
+                caps[k] = schedule.capacities[slot]
+            return CoSchedule.from_machine_groups(groups, capacities=caps)
         return CoSchedule.from_groups(
             [[inv[p] for p in g] for g in schedule.groups], u=schedule.u
         )
@@ -419,8 +435,11 @@ class SolveService:
             return tuple(sorted(self.solver_factories))
         return solver_names()
 
-    def _check_solver(self, spec: str) -> None:
-        """Raise :class:`RequestRejected` unless ``spec`` resolves."""
+    def _check_solver(self, spec: str, problem=None) -> None:
+        """Raise :class:`RequestRejected` unless ``spec`` resolves — and,
+        when ``problem`` is given, unless the registry entry declares the
+        scenario capabilities the problem requires (reason
+        ``"unsupported_scenario"``, surfaced as HTTP 400)."""
         if self.solver_factories is not None:
             if spec not in self.solver_factories:
                 raise RequestRejected(
@@ -430,9 +449,19 @@ class SolveService:
                 )
             return
         try:
-            parse_spec(spec)
+            parsed = parse_spec(spec)
         except SpecError as exc:
             raise RequestRejected(exc.reason, exc.detail) from exc
+        if problem is not None:
+            required = problem.required_capabilities()
+            missing = required - get_info(parsed.name).scenario_flags()
+            if missing:
+                raise RequestRejected(
+                    "unsupported_scenario",
+                    f"solver {spec!r} does not support scenario feature(s) "
+                    f"{sorted(missing)} required by this problem; see "
+                    f"docs/SCENARIOS.md for the solver support matrix",
+                )
 
     def _check_admission(self, budget: Optional[Budget]) -> None:
         """Raise :class:`RequestRejected` if the request may not enter.
@@ -506,7 +535,7 @@ class SolveService:
         """
         solver_name = solver if solver is not None else self.default_solver
         try:
-            self._check_solver(solver_name)
+            self._check_solver(solver_name, problem=problem)
         except RequestRejected as exc:
             with self._lock:
                 self._stats["rejected"] += 1
@@ -514,6 +543,8 @@ class SolveService:
             raise
         fp = problem_fingerprint(problem)
         pid_map = canonical_pid_map(problem)
+        machine_order = (list(problem.canonical_machine_order())
+                         if problem.is_scenario else None)
 
         # Cache, coalesce and admission are decided under one lock, so a
         # solve completing between the store lookup and the inflight check
@@ -540,7 +571,8 @@ class SolveService:
                 ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
                                        solver_name, priority, pid_map=pid_map,
                                        stale_partial=_stale_partial,
-                                       base_fingerprint=_base_fingerprint)
+                                       base_fingerprint=_base_fingerprint,
+                                       machine_order=machine_order)
                 ticket._resolve(entry, "cache_hit", time_seconds=0.0)
                 self._tickets[ticket.ticket_id] = ticket
                 self._stats["cache_hits"] += 1
@@ -556,7 +588,8 @@ class SolveService:
                 ticket = ServiceTicket(f"req-{next(self._ids)}", fp,
                                        solver_name, priority, pid_map=pid_map,
                                        stale_partial=_stale_partial,
-                                       base_fingerprint=_base_fingerprint)
+                                       base_fingerprint=_base_fingerprint,
+                                       machine_order=machine_order)
                 ticket.state = "queued"
                 inflight["followers"].append(ticket)
                 self._tickets[ticket.ticket_id] = ticket
@@ -576,7 +609,8 @@ class SolveService:
                     shed_ticket = ServiceTicket(
                         f"req-{next(self._ids)}", fp, solver_name,
                         priority, pid_map=pid_map,
-                        base_fingerprint=_base_fingerprint)
+                        base_fingerprint=_base_fingerprint,
+                        machine_order=machine_order)
                     self._tickets[shed_ticket.ticket_id] = shed_ticket
                     self._stats["shed"] += 1
                 else:
@@ -590,7 +624,8 @@ class SolveService:
                                        solver_name, priority,
                                        pid_map=pid_map,
                                        stale_partial=_stale_partial,
-                                       base_fingerprint=_base_fingerprint)
+                                       base_fingerprint=_base_fingerprint,
+                                       machine_order=machine_order)
                 self._tickets[ticket.ticket_id] = ticket
                 self._inflight[fp] = {"ticket": ticket, "followers": []}
                 heapq.heappush(

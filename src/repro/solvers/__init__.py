@@ -1,7 +1,7 @@
 """Solvers: exact (OA*, O-SVP, IP backends, brute force) and heuristic (HA*, PG)."""
 
 from .astar_core import AStarSearch
-from .base import SolveResult, Solver
+from .base import CapabilityError, SolveResult, Solver
 from .brute_force import BruteForce, count_partitions
 from .budget import Budget, BudgetState
 from .fallback import FallbackChain
@@ -18,6 +18,7 @@ from .simplex import LPResult, simplex_solve
 
 __all__ = [
     "AStarSearch",
+    "CapabilityError",
     "SolveResult",
     "Solver",
     "Budget",

@@ -107,6 +107,8 @@ class AStarSearch(Solver):
         Forwarded to :class:`~repro.graph.levels.HeuristicEstimator`.
     """
 
+    scenario_capabilities = frozenset({"heterogeneous", "constraints"})
+
     def __init__(
         self,
         name: str = "OA*",
@@ -156,6 +158,12 @@ class AStarSearch(Solver):
     # ------------------------------------------------------------------ #
 
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        if problem.required_capabilities():
+            # Heterogeneous rosters / constraints break the homogeneous
+            # level coding; the scenario engine owns that search space.
+            from .het_search import solve_het
+
+            return solve_het(self, problem)
         n, u = problem.n, problem.u
         wl = problem.workload
         par_jobs = [j.job_id for j in wl.parallel_jobs]

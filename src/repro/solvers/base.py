@@ -13,7 +13,29 @@ from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
 from .budget import Budget, BudgetState
 
-__all__ = ["SolveResult", "Solver"]
+__all__ = ["CapabilityError", "SolveResult", "Solver"]
+
+
+class CapabilityError(ValueError):
+    """A solver was handed a scenario it does not support.
+
+    Raised *before* any search runs, so an unsupported solver×scenario
+    combination can never return a wrong schedule.  ``missing`` holds the
+    required-but-undeclared capability flags (``heterogeneous`` /
+    ``constraints``); ``reason`` is the stable machine-readable tag the
+    runtime/service layers map to ``SpecError`` / HTTP 400.
+    """
+
+    reason = "unsupported_scenario"
+
+    def __init__(self, solver: str, missing):
+        self.solver = solver
+        self.missing = frozenset(missing)
+        super().__init__(
+            f"solver {solver!r} does not support scenario capabilities "
+            f"{sorted(self.missing)}; pick a solver whose registry entry "
+            f"declares them (see docs/SCENARIOS.md)"
+        )
 
 
 @dataclass
@@ -63,6 +85,11 @@ class Solver(abc.ABC):
     """
 
     name: str = "solver"
+
+    #: Scenario capability flags this solver handles (``heterogeneous``,
+    #: ``constraints``).  :meth:`solve` refuses problems requiring flags
+    #: not declared here — a structured failure, never a wrong schedule.
+    scenario_capabilities: frozenset = frozenset()
 
     #: The armed budget of the run currently inside ``_solve`` (set by
     #: :meth:`solve`, ``None`` between runs).
@@ -115,6 +142,10 @@ class Solver(abc.ABC):
           whether the run strictly improved on it, and whether the
           incumbent had to be restored.
         """
+        required = problem.required_capabilities()
+        missing = required - self.scenario_capabilities
+        if missing:
+            raise CapabilityError(self.name, missing)
         counters = getattr(problem, "counters", None)
         tracer = getattr(counters, "tracer", None)
         warm_obj: Optional[float] = None

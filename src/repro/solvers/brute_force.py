@@ -18,7 +18,7 @@ from ..core.problem import CoSchedulingProblem
 from ..core.schedule import CoSchedule
 from .base import SolveResult, Solver
 
-__all__ = ["BruteForce", "count_partitions"]
+__all__ = ["BruteForce", "count_partitions", "count_het_assignments"]
 
 
 def count_partitions(n: int, u: int) -> int:
@@ -28,6 +28,23 @@ def count_partitions(n: int, u: int) -> int:
         raise ValueError("n must divide by u")
     m = n // u
     return math.factorial(n) // (math.factorial(u) ** m * math.factorial(m))
+
+
+def count_het_assignments(problem: CoSchedulingProblem) -> int:
+    """Number of distinct machine assignments of a scenario problem:
+    the multinomial over capacities, divided by ``r!`` per run of ``r``
+    fully interchangeable machines (equal :meth:`machine_identity
+    <repro.core.problem.CoSchedulingProblem.machine_identity>`)."""
+    total = math.factorial(problem.n)
+    for cap in problem.capacities:
+        total //= math.factorial(cap)
+    runs: Dict[Tuple, int] = {}
+    for k in range(problem.n_machines):
+        identity = problem.machine_identity(k)
+        runs[identity] = runs.get(identity, 0) + 1
+    for r in runs.values():
+        total //= math.factorial(r)
+    return total
 
 
 class _BudgetStop(Exception):
@@ -44,11 +61,14 @@ class BruteForce(Solver):
     """
 
     name = "brute-force"
+    scenario_capabilities = frozenset({"heterogeneous", "constraints"})
 
     def __init__(self, max_partitions: int = 2_000_000):
         self.max_partitions = max_partitions
 
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
+        if problem.is_scenario:
+            return self._solve_scenario(problem)
         n, u = problem.n, problem.u
         total = count_partitions(n, u)
         if total > self.max_partitions:
@@ -127,4 +147,72 @@ class BruteForce(Solver):
             time_seconds=0.0,
             optimal=stopped is None,
             stats={"partitions_examined": examined},
+        )
+
+    def _solve_scenario(self, problem: CoSchedulingProblem) -> SolveResult:
+        """Exhaustive machine-slot enumeration — the oracle the scenario
+        solvers are validated against.  Walks the canonical slot order with
+        the strictly-increasing-leader rule inside identity runs, so
+        permutations of interchangeable machines are counted once."""
+        n = problem.n
+        total = count_het_assignments(problem)
+        if total > self.max_partitions:
+            raise ValueError(
+                f"{total} assignments exceeds limit {self.max_partitions}"
+            )
+        budget = self._active_budget()
+        tracer = problem.counters.tracer
+        plan = problem.slot_plan()
+
+        best_obj = math.inf
+        best_slots: Optional[List[Tuple[int, ...]]] = None
+        examined = 0
+        slots: List[Tuple[int, ...]] = []
+
+        def rec(slot: int, unplaced: Tuple[int, ...], prev_leader: int,
+                g: float) -> None:
+            nonlocal best_obj, best_slots, examined
+            if slot == len(plan):
+                examined += 1
+                budget.charge()
+                if g < best_obj:
+                    best_obj = g
+                    best_slots = list(slots)
+                    if tracer is not None:
+                        tracer.emit("incumbent", solver=self.name,
+                                    objective=g, examined=examined)
+                if budget.exhausted() is not None:
+                    raise _BudgetStop
+                return
+            k, cap, same_run = plan[slot]
+            floor = prev_leader if same_run else -1
+            eligible = tuple(p for p in unplaced if p > floor)
+            for combo in itertools.combinations(eligible, cap):
+                slots.append(combo)
+                chosen = set(combo)
+                remaining = tuple(p for p in unplaced if p not in chosen)
+                rec(slot + 1, remaining, combo[0],
+                    g + problem.machine_node_weight(k, combo))
+                slots.pop()
+
+        stopped = None
+        try:
+            rec(0, tuple(range(n)), -1, 0.0)
+        except _BudgetStop:
+            stopped = budget.stop_reason
+            if tracer is not None:
+                tracer.emit("budget_stop", solver=self.name, reason=stopped,
+                            examined=examined)
+        assert best_slots is not None
+        by_machine: List[Tuple[int, ...]] = [()] * problem.n_machines
+        for s, (k, _, _) in enumerate(plan):
+            by_machine[k] = best_slots[s]
+        schedule = problem.make_schedule(by_machine)
+        return SolveResult(
+            solver=self.name,
+            schedule=schedule,
+            objective=best_obj,
+            time_seconds=0.0,
+            optimal=stopped is None,
+            stats={"partitions_examined": examined, "heterogeneous": True},
         )

@@ -59,6 +59,12 @@ class FallbackChain(Solver):
         if not members:
             raise ValueError("fallback chain needs at least one member")
         self.members = list(members)
+        # The chain handles exactly the scenarios every stage handles —
+        # a cascade must be able to reach its last resort.
+        caps = frozenset({"heterogeneous", "constraints"})
+        for member in self.members:
+            caps &= member.scenario_capabilities
+        self.scenario_capabilities = caps
         self.name = name or (
             "fallback[" + " > ".join(m.name for m in self.members) + "]"
         )

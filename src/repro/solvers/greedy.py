@@ -25,9 +25,16 @@ __all__ = ["PolitenessGreedy", "RandomScheduler", "SequentialScheduler"]
 
 
 class PolitenessGreedy(Solver):
-    """PG: co-schedule polite processes with impolite ones [18]."""
+    """PG: co-schedule polite processes with impolite ones [18].
+
+    Heterogeneous rosters fill machines in canonical slot order (largest
+    first), each slot getting the most impolite remaining process plus
+    ``capacity - 1`` of the most polite — the same pairing rule with a
+    ragged group size.
+    """
 
     name = "PG"
+    scenario_capabilities = frozenset({"heterogeneous", "constraints"})
 
     def _solve(self, problem: CoSchedulingProblem) -> SolveResult:
         n, u = problem.n, problem.u
@@ -45,14 +52,22 @@ class PolitenessGreedy(Solver):
             inflicted[i] = total / max(1, n - 1)
 
         unassigned = sorted(range(n), key=lambda p: (-inflicted[p], p))
-        groups: List[List[int]] = []
-        while unassigned:
-            machine = [unassigned.pop(0)]  # most impolite remaining
-            for _ in range(u - 1):
-                machine.append(unassigned.pop())  # most polite remaining
-            groups.append(machine)
-
-        schedule = CoSchedule.from_groups(groups, u=u, n=n)
+        if problem.is_scenario:
+            by_machine: List[List[int]] = [[] for _ in range(problem.n_machines)]
+            for k, cap, _ in problem.slot_plan():
+                machine = [unassigned.pop(0)]
+                for _ in range(cap - 1):
+                    machine.append(unassigned.pop())
+                by_machine[k] = machine
+            schedule = problem.make_schedule(by_machine)
+        else:
+            groups: List[List[int]] = []
+            while unassigned:
+                machine = [unassigned.pop(0)]  # most impolite remaining
+                for _ in range(u - 1):
+                    machine.append(unassigned.pop())  # most polite remaining
+                groups.append(machine)
+            schedule = CoSchedule.from_groups(groups, u=u, n=n)
         from ..core.objective import evaluate_schedule
 
         ev = evaluate_schedule(problem, schedule)

@@ -26,9 +26,19 @@ from .greedy import PolitenessGreedy
 __all__ = ["SwapHillClimber", "SimulatedAnnealing"]
 
 
+def _schedule_of_groups(problem: CoSchedulingProblem,
+                        groups: List[List[int]]) -> CoSchedule:
+    """Groups → schedule; scenario problems treat ``groups[k]`` as machine
+    ``k``'s placement (swap moves preserve each machine's group size, so
+    the machine axis survives the whole search)."""
+    if problem.is_scenario:
+        return problem.make_schedule(groups)
+    return CoSchedule.from_groups(groups, u=problem.u, n=problem.n)
+
+
 def _objective_of_groups(problem: CoSchedulingProblem,
                          groups: List[List[int]]) -> float:
-    sched = CoSchedule.from_groups(groups, u=problem.u, n=problem.n)
+    sched = _schedule_of_groups(problem, groups)
     return evaluate_schedule(problem, sched).objective
 
 
@@ -47,6 +57,8 @@ class SwapHillClimber(Solver):
     (the default) keeps the historical ascending scan.
     """
 
+    scenario_capabilities = frozenset({"heterogeneous", "constraints"})
+
     def __init__(self, start: str = "greedy", max_passes: int = 50,
                  seed: Optional[int] = None, name: Optional[str] = None):
         if start not in ("greedy", "sequential"):
@@ -63,6 +75,13 @@ class SwapHillClimber(Solver):
         if self.start == "greedy":
             result = PolitenessGreedy().solve(problem)
             return [list(g) for g in result.schedule.groups]
+        if problem.is_scenario:
+            groups: List[List[int]] = []
+            next_pid = 0
+            for cap in problem.capacities:
+                groups.append(list(range(next_pid, next_pid + cap)))
+                next_pid += cap
+            return groups
         n, u = problem.n, problem.u
         return [list(range(k * u, (k + 1) * u)) for k in range(n // u)]
 
@@ -84,8 +103,8 @@ class SwapHillClimber(Solver):
             if rng is not None:
                 rng.shuffle(pairs)
             for a, b in pairs:
-                for i in range(u):
-                    for j in range(u):
+                for i in range(len(groups[a])):
+                    for j in range(len(groups[b])):
                         if budget.exhausted() is not None:
                             # The working groups are always a valid
                             # schedule at least as good as the start.
@@ -117,7 +136,7 @@ class SwapHillClimber(Solver):
         if stopped is not None and tracer is not None:
             tracer.emit("budget_stop", solver=self.name, reason=stopped,
                         evaluations=evaluations)
-        schedule = CoSchedule.from_groups(groups, u=u, n=problem.n)
+        schedule = _schedule_of_groups(problem, groups)
         return SolveResult(
             solver=self.name,
             schedule=schedule,
@@ -134,6 +153,8 @@ class SimulatedAnnealing(Solver):
     temperature decays from ``t0`` (relative to the initial objective) by
     ``cooling`` per step; the best schedule ever visited is returned.
     """
+
+    scenario_capabilities = frozenset({"heterogeneous", "constraints"})
 
     def __init__(
         self,
@@ -183,7 +204,7 @@ class SimulatedAnnealing(Solver):
                                 reason=stopped, iterations=iterations_run)
                 break
             a, b = rng.sample(range(m), 2)
-            i, j = rng.randrange(u), rng.randrange(u)
+            i, j = rng.randrange(len(groups[a])), rng.randrange(len(groups[b]))
             groups[a][i], groups[b][j] = groups[b][j], groups[a][i]
             obj = _objective_of_groups(problem, groups)
             iterations_run += 1
@@ -202,7 +223,7 @@ class SimulatedAnnealing(Solver):
             else:
                 groups[a][i], groups[b][j] = groups[b][j], groups[a][i]
             temp *= self.cooling
-        schedule = CoSchedule.from_groups(best_groups, u=u, n=problem.n)
+        schedule = _schedule_of_groups(problem, best_groups)
         return SolveResult(
             solver=self.name,
             schedule=schedule,

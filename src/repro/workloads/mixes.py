@@ -12,9 +12,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..comm.model import CommunicationModel
 from ..comm.topology import square_ish_grid
+from ..core.constraints import BandwidthCapConstraint, CachePartitionModel
 from ..core.degradation import SDCDegradationModel
 from ..core.jobs import Job, Workload, pc_job, pe_job, serial_job
-from ..core.machine import CLUSTERS, ClusterSpec
+from ..core.machine import CLUSTERS, MACHINES, ClusterSpec, MachineSpec
 from ..core.problem import CoSchedulingProblem
 from .catalog import CATALOG, MPI_HALO_BYTES, get_profile
 
@@ -25,6 +26,8 @@ __all__ = [
     "pc_serial_mix",
     "fig10_apps",
     "fig11_apps",
+    "heterogeneous_serial_mix",
+    "bandwidth_capped_mix",
     "build_problem",
     "TABLE1_SETS",
     "TABLE2_SETS",
@@ -159,6 +162,112 @@ def pc_serial_mix(
         jobs.append(serial_job(jid, name))
         jid += 1
     return build_problem(jobs, cluster, treat_pc_as_pe=treat_pc_as_pe)
+
+
+def _roster(machines: Sequence[MachineSpec | str]) -> Tuple[MachineSpec, ...]:
+    return tuple(MACHINES[m] if isinstance(m, str) else m for m in machines)
+
+
+def _profile_demand(name: str, machine: MachineSpec) -> float:
+    """Memory-bus demand (bytes/s) a catalog program exerts when running
+    alone on ``machine``: miss rate × access rate × line size."""
+    p = get_profile(name)
+    seconds = p.cpu_cycles / machine.clock_hz
+    return p.accesses * p.miss_rate / seconds * machine.shared_cache.line_bytes
+
+
+def heterogeneous_serial_mix(
+    names: Sequence[str] = TABLE1_SETS[12],
+    machines: Sequence[MachineSpec | str] = ("quad", "eight"),
+    bandwidth_caps: Optional[Sequence[Optional[float]]] = None,
+    bandwidth_weight: float = 1.0,
+    cache_partition: bool = False,
+    cache_weight: float = 1.0,
+    clock_scaling: bool = True,
+) -> CoSchedulingProblem:
+    """Catalog serial programs on an asymmetric machine roster.
+
+    The default places the Table I 12-program set on a quad-core plus an
+    eight-core machine.  ``len(names)`` must equal the roster's total core
+    count (rosters never pad).  ``bandwidth_caps`` attaches a
+    :class:`~repro.core.constraints.BandwidthCapConstraint` whose per-pid
+    demands derive from the catalog profiles (miss rate × access rate ×
+    line size on the reference machine); ``cache_partition=True`` attaches
+    a :class:`~repro.core.constraints.CachePartitionModel` with
+    footprints proportional to each program's miss rate.
+    ``clock_scaling`` scales each machine's group degradation by
+    ``reference_clock / clock`` (slower machines hurt more).
+    """
+    roster = _roster(machines)
+    cluster = ClusterSpec.of_machines(roster)
+    total = sum(m.cores for m in roster)
+    if len(names) != total:
+        raise ValueError(
+            f"{len(names)} programs for a roster of {total} cores; "
+            f"heterogeneous rosters never pad — pick a program set whose "
+            f"size matches the roster"
+        )
+    jobs = [serial_job(i, name) for i, name in enumerate(names)]
+    wl = Workload(jobs)
+    model = SDCDegradationModel(wl, cluster.machine, CATALOG)
+    constraints = []
+    if bandwidth_caps is not None:
+        demands = [_profile_demand(name, cluster.machine) for name in names]
+        constraints.append(BandwidthCapConstraint(
+            demands=demands, caps=list(bandwidth_caps),
+            weight=bandwidth_weight,
+        ))
+    if cache_partition:
+        # Working-set proxy: a program missing in x% of its accesses
+        # behaves as if it claims x× the reference cache.
+        ref_cache = cluster.machine.shared_cache.size_bytes
+        footprints = [get_profile(name).miss_rate * ref_cache
+                      for name in names]
+        constraints.append(CachePartitionModel.for_cluster(
+            footprints=footprints, machines=roster, weight=cache_weight,
+        ))
+    scaling = None
+    if clock_scaling:
+        reference = cluster.machine.clock_hz
+        scaling = [reference / m.clock_hz for m in roster]
+    return CoSchedulingProblem(
+        wl, cluster, model, constraints=constraints, machine_scaling=scaling
+    )
+
+
+def bandwidth_capped_mix(
+    names: Sequence[str] = TABLE1_SETS[8],
+    machine: MachineSpec | str = "quad",
+    n_machines: int = 2,
+    capped_fraction: float = 0.5,
+    bandwidth_weight: float = 1.0,
+) -> CoSchedulingProblem:
+    """Identical machines, one with a throttled memory bus.
+
+    Machine 0's bus sustains ``capped_fraction`` of the workload's mean
+    solo demand times its core count; the rest are uncapped.  The machines
+    are spec-identical, so every asymmetry a solver sees comes from the
+    constraint — the minimal scenario exercising the ``constraints``
+    capability without ``heterogeneous``-capacity handling.
+    """
+    spec = MACHINES[machine] if isinstance(machine, str) else machine
+    roster = (spec,) * n_machines
+    cluster = ClusterSpec.of_machines(roster)
+    total = spec.cores * n_machines
+    if len(names) != total:
+        raise ValueError(
+            f"{len(names)} programs for {n_machines}x{spec.cores} cores"
+        )
+    jobs = [serial_job(i, name) for i, name in enumerate(names)]
+    wl = Workload(jobs)
+    model = SDCDegradationModel(wl, cluster.machine, CATALOG)
+    demands = [_profile_demand(name, spec) for name in names]
+    cap = capped_fraction * (sum(demands) / len(demands)) * spec.cores
+    caps: List[Optional[float]] = [cap] + [None] * (n_machines - 1)
+    constraint = BandwidthCapConstraint(
+        demands=demands, caps=caps, weight=bandwidth_weight,
+    )
+    return CoSchedulingProblem(wl, cluster, model, constraints=[constraint])
 
 
 def fig10_apps(cluster: ClusterSpec | str = "quad") -> CoSchedulingProblem:

@@ -36,6 +36,7 @@ from .catalog import ProgramProfile
 __all__ = [
     "random_serial_instance",
     "random_asymmetric_instance",
+    "random_heterogeneous_instance",
     "random_interaction_instance",
     "random_profile_instance",
     "random_mixed_instance",
@@ -73,6 +74,58 @@ def random_serial_instance(
             rates[pid] = 0.0
     model = MissRatePressureModel(miss_rates=rates, cores=u, saturation=saturation)
     return CoSchedulingProblem(wl, cluster, model)
+
+
+def random_heterogeneous_instance(
+    machines: Tuple[str, ...] = ("quad", "eight"),
+    seed: int = 0,
+    miss_range: Tuple[float, float] = MISS_RATE_RANGE,
+    saturation: Optional[float] = 0.9,
+    bandwidth_caps: Optional[Tuple[Optional[float], ...]] = None,
+    bandwidth_weight: float = 1.0,
+    clock_scaling: bool = False,
+) -> CoSchedulingProblem:
+    """Serial jobs on an explicit machine roster — the scenario analog of
+    :func:`random_serial_instance`.
+
+    ``machines`` names roster entries from :data:`repro.core.machine.MACHINES`
+    (e.g. ``("quad", "eight")`` → a 12-process asymmetric cluster); the
+    process count is the roster's total core count.  ``bandwidth_caps``
+    attaches a :class:`~repro.core.constraints.BandwidthCapConstraint`
+    (one cap per machine, ``None`` entries uncapped) with per-process
+    demands proportional to the drawn miss rates.  ``clock_scaling=True``
+    scales each machine's group weight by ``reference_clock / clock`` —
+    slower machines degrade co-runners proportionally more.
+    """
+    from ..core.constraints import BandwidthCapConstraint
+    from ..core.machine import MACHINES
+
+    roster = tuple(MACHINES[name] for name in machines)
+    cluster = ClusterSpec.of_machines(roster)
+    n = sum(m.cores for m in roster)
+    jobs = [serial_job(i, f"syn{i}", profile_name=f"syn{i}") for i in range(n)]
+    wl = Workload(jobs)
+    rng = np.random.default_rng(seed)
+    rates = rng.uniform(miss_range[0], miss_range[1], size=n)
+    model = MissRatePressureModel(
+        miss_rates=rates, cores=cluster.machine.cores, saturation=saturation
+    )
+    constraints = []
+    if bandwidth_caps is not None:
+        # Demand proportional to miss pressure: 1 GB/s at the top rate.
+        demands = rates * 1e9
+        constraints.append(BandwidthCapConstraint(
+            demands=demands.tolist(),
+            caps=list(bandwidth_caps),
+            weight=bandwidth_weight,
+        ))
+    scaling = None
+    if clock_scaling:
+        reference = cluster.machine.clock_hz
+        scaling = [reference / m.clock_hz for m in roster]
+    return CoSchedulingProblem(
+        wl, cluster, model, constraints=constraints, machine_scaling=scaling
+    )
 
 
 def random_asymmetric_instance(

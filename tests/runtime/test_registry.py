@@ -10,8 +10,13 @@ import pytest
 from repro import serial_mix
 from repro.runtime import REGISTRY, create_solver, get_info, solver_names
 from repro.runtime.registry import _ALIASES
+from repro.runtime.session import run_solve
+from repro.runtime.registry import SpecError
 from repro.solvers import Budget
-from repro.workloads.synthetic import random_interaction_instance
+from repro.workloads.synthetic import (
+    random_heterogeneous_instance,
+    random_interaction_instance,
+)
 
 SMALL = ["BT", "CG", "EP", "FT"]
 
@@ -116,6 +121,37 @@ class TestParity:
             solver, "workers"
         )
         assert get_info(name).supports_workers == has_knob
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_scenario_capability(self, name):
+        """A solver claiming the scenario flags must actually solve a
+        heterogeneous, bandwidth-capped instance; one that does not must
+        be refused structurally — never handed the problem."""
+        problem = random_heterogeneous_instance(
+            ("dual", "quad"), seed=3, bandwidth_caps=(1.5e9, None),
+            clock_scaling=True,
+        )
+        info = get_info(name)
+        assert info.scenario_flags() <= {"heterogeneous", "constraints"}
+        if problem.required_capabilities() <= info.scenario_flags():
+            report = run_solve(problem, name)
+            assert report.schedule is not None
+            assert sorted(report.schedule.capacities) == [2, 4]
+            assert report.objective < float("inf")
+        else:
+            with pytest.raises(SpecError) as err:
+                run_solve(problem, name)
+            assert err.value.reason == "unsupported_scenario"
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_scenario_flags_in_capabilities_json(self, name):
+        caps = get_info(name).capabilities()
+        assert caps["supports_heterogeneous"] == (
+            "heterogeneous" in get_info(name).scenario_flags()
+        )
+        assert caps["supports_constraints"] == (
+            "constraints" in get_info(name).scenario_flags()
+        )
 
     @pytest.mark.parametrize("name", sorted(REGISTRY))
     def test_trace_capability(self, name, small_problem, tmp_path):

@@ -430,3 +430,137 @@ def test_node_extra_cost_hook_refuses_to_serialize():
         problem_to_dict(hooked)
     with pytest.raises(CodecError):
         problem_fingerprint(hooked)
+
+
+# --------------------------------------------------------------------- #
+# Scenario documents (format version 2): heterogeneous rosters,
+# constraints, machine scaling.
+# --------------------------------------------------------------------- #
+
+from repro.core.constraints import BandwidthCapConstraint  # noqa: E402
+from repro.workloads.synthetic import (  # noqa: E402
+    random_heterogeneous_instance,
+)
+
+# Pinned pre-scenario fingerprint: homogeneous problems must keep
+# producing byte-identical canonical documents forever (cache keys in
+# deployed memo stores depend on it).
+PINNED_HOMOGENEOUS_FP = (
+    "8cebd33aaf4774d35563c209cb58216987fb6f7b98b291eff5d68ea40aa43906"
+)
+
+
+def _het_problem(seed=3, machines=("dual", "quad")):
+    return random_heterogeneous_instance(
+        machines, seed=seed, bandwidth_caps=(1.5e9, None),
+        clock_scaling=True,
+    )
+
+
+def test_homogeneous_fingerprint_is_pinned():
+    assert problem_fingerprint(
+        random_serial_instance(8, seed=0)
+    ) == PINNED_HOMOGENEOUS_FP
+
+
+def test_homogeneous_documents_stay_version_1():
+    doc = problem_to_dict(random_serial_instance(8, seed=0))
+    assert doc["version"] == 1
+    assert "constraints" not in doc
+    assert "machine_scale" not in doc
+    assert "machines" not in doc["cluster"]
+    # And version-1 payloads (pre-scenario producers) keep decoding.
+    assert problem_from_dict(doc).n == 8
+
+
+def test_scenario_round_trip_preserves_semantics():
+    problem = _het_problem()
+    doc = problem_to_dict(problem)
+    assert doc["version"] == 2
+    clone = problem_from_dict(json.loads(json.dumps(doc)))
+    assert clone.capacities == problem.capacities
+    assert clone.machine_scale == problem.machine_scale
+    assert [c.to_dict() for c in clone.constraints] == [
+        c.to_dict() for c in problem.constraints
+    ]
+    assert problem_fingerprint(clone) == problem_fingerprint(problem)
+    sched = PolitenessGreedy().solve(problem).schedule
+    assert evaluate_schedule(clone, sched).objective == pytest.approx(
+        evaluate_schedule(problem, sched).objective
+    )
+
+
+def test_scenario_fingerprint_invariant_under_relabeling():
+    base = _het_problem()
+    order = [3, 0, 5, 1, 4, 2]  # new_pid_of[old]
+    jobs = [None] * base.n
+    rates = [0.0] * base.n
+    for old, new in enumerate(order):
+        jobs[new] = serial_job(new, f"syn{old}", profile_name=f"syn{old}")
+        rates[new] = base.model.miss_rates[old]
+    relabeled = CoSchedulingProblem(
+        Workload(jobs),
+        base.cluster,
+        MissRatePressureModel(
+            miss_rates=rates, cores=base.cluster.machine.cores,
+            saturation=base.model.saturation,
+        ),
+        constraints=[c.relabeled(order) for c in base.constraints],
+        machine_scaling=list(base.machine_scale),
+    )
+    assert problem_fingerprint(relabeled) == problem_fingerprint(base)
+
+
+def test_scenario_fingerprint_invariant_under_machine_reorder():
+    base = _het_problem(machines=("dual", "quad"))
+    flipped_raw = random_heterogeneous_instance(
+        ("quad", "dual"), seed=3, bandwidth_caps=(None, 1.5e9),
+        clock_scaling=True,
+    )
+    # Same drawn rates map to the same pids in both builds, so the only
+    # difference is the roster order — which the fingerprint canonicalizes.
+    assert list(flipped_raw.model.miss_rates) == list(base.model.miss_rates)
+    assert problem_fingerprint(flipped_raw) == problem_fingerprint(base)
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda d: d["constraints"][0].__setitem__("caps", [1.4e9, None]),
+    lambda d: d["constraints"][0].__setitem__(
+        "demands", d["constraints"][0]["demands"][::-1]),
+    lambda d: d["constraints"][0].__setitem__("weight", 2.0),
+    lambda d: d.__setitem__("machine_scale", [1.0, 1.0]),
+    lambda d: d["cluster"]["machines"][0].__setitem__("clock_hz", 1e9),
+])
+def test_scenario_fingerprint_sensitive_parameters(mutate):
+    base = _het_problem()
+    doc = problem_to_dict(base)
+    mutate(doc)
+    changed = problem_from_dict(doc)
+    assert problem_fingerprint(changed) != problem_fingerprint(base)
+
+
+def test_scenario_schedule_codec_round_trip():
+    problem = _het_problem()
+    sched = problem.make_schedule([[0, 1], [2, 3, 4, 5]])
+    doc = schedule_to_dict(sched)
+    assert doc["version"] == 2
+    clone = schedule_from_dict(doc)
+    assert clone == sched
+    assert clone.capacities == problem.capacities
+
+
+def test_scenario_canonical_schedule_translates_between_relabelings():
+    base = _het_problem()
+    sched = PolitenessGreedy().solve(base).schedule
+    canon = schedule_to_canonical(base, sched)
+    back = schedule_from_canonical(base, canon)
+    assert evaluate_schedule(base, back).objective == pytest.approx(
+        evaluate_schedule(base, sched).objective
+    )
+
+
+def test_scenario_constraint_decode_errors_are_codec_errors():
+    doc = problem_to_dict(_het_problem())
+    doc["constraints"][0]["kind"] = "quantum_entanglement"
+    with pytest.raises(CodecError):
+        problem_from_dict(doc)

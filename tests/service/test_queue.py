@@ -421,3 +421,62 @@ def test_shed_emits_trace_event():
     assert len(events) == 1
     assert events[0]["policy"] == "pg"
     assert events[0]["used"] == "pg"
+
+
+# --------------------------------------------------------------------- #
+# Scenario problems through the service: capability admission, solving,
+# and cache hits across machine relabelings.
+# --------------------------------------------------------------------- #
+
+def make_het_problem(seed=3, flipped=False):
+    from repro.workloads.synthetic import random_heterogeneous_instance
+
+    if flipped:
+        return random_heterogeneous_instance(
+            ("quad", "dual"), seed=seed, bandwidth_caps=(None, 1.5e9),
+            clock_scaling=True,
+        )
+    return random_heterogeneous_instance(
+        ("dual", "quad"), seed=seed, bandwidth_caps=(1.5e9, None),
+        clock_scaling=True,
+    )
+
+
+def test_scenario_unsupported_solver_rejected_at_admission():
+    with SolveService(workers=1, default_solver="hill") as svc:
+        with pytest.raises(RequestRejected) as err:
+            svc.submit(make_het_problem(), solver="ip")
+        assert err.value.reason == "unsupported_scenario"
+        # Nothing was enqueued: the worker never saw the request.
+        assert svc.metrics()["requests"]["solves"] == 0
+
+
+def test_scenario_solve_and_cache_hit():
+    with SolveService(workers=1, default_solver="hill?seed=0") as svc:
+        t1 = svc.submit(make_het_problem())
+        assert t1.wait(60.0)
+        assert t1.disposition == "solved"
+        assert t1.schedule is not None
+        assert sorted(t1.schedule.capacities) == [2, 4]
+
+        t2 = svc.submit(make_het_problem())
+        assert t2.done
+        assert t2.disposition == "cache_hit"
+        assert t2.objective == pytest.approx(t1.objective)
+
+
+def test_scenario_cache_hit_across_machine_reordering():
+    base = make_het_problem()
+    flipped = make_het_problem(flipped=True)
+    with SolveService(workers=1, default_solver="hill?seed=0") as svc:
+        t1 = svc.submit(base)
+        assert t1.wait(60.0)
+        t2 = svc.submit(flipped)
+        assert t2.done
+        assert t2.disposition == "cache_hit"
+        # The served schedule is re-localized to the submitter's machine
+        # numbering (flipped roster: quad first) and scores identically.
+        assert t2.schedule.capacities == flipped.capacities
+        assert evaluate_schedule(
+            flipped, t2.schedule
+        ).objective == pytest.approx(t1.objective)

@@ -363,6 +363,60 @@ class TestBenchEvolveSection:
             bench.validate(bad)
 
 
+class TestBenchScenariosSection:
+    def test_smoke_document_carries_scenario_quality(self):
+        from repro.perf import bench
+
+        doc = bench.run_bench(smoke=True, repeats=1)
+        bench.validate(doc)
+        scenarios = doc["scenarios"]
+        assert scenarios["solvers"] == ["pg", "hill", "anneal", "genetic"]
+        assert {p["variant"] for p in scenarios["points"]} == {
+            "homogeneous", "heterogeneous"
+        }
+        for point in scenarios["points"]:
+            for solver in scenarios["solvers"]:
+                vals = point["per_seed"][solver]
+                assert len(vals) == len(scenarios["seeds"])
+                assert all(v > 0 for v in vals)
+        # Both variants draw identical miss rates, so the ratio isolates
+        # what the roster + constraint cost: always a positive number.
+        for solver in scenarios["solvers"]:
+            assert scenarios["het_vs_homog"][solver] > 0
+
+    def test_validate_accepts_v4_documents_without_scenarios(self):
+        from repro.perf import bench
+
+        doc = bench.run_bench(smoke=True, repeats=1)
+        old = dict(doc)
+        del old["scenarios"]
+        old["schema"] = bench.SCHEMA_V4
+        bench.validate(old)  # must not raise
+        bad = dict(doc)
+        del bad["scenarios"]
+        with pytest.raises(ValueError, match="scenarios"):
+            bench.validate(bad)
+
+    def test_trajectory_renders_pre_scenario_documents(self, tmp_path):
+        from repro.perf import bench
+
+        doc = bench.run_bench(smoke=True, repeats=1)
+        bench.write_bench(doc, str(tmp_path / "BENCH_new.json"))
+        old = dict(doc)
+        del old["scenarios"]
+        old["schema"] = bench.SCHEMA_V4
+        old["revision"] = "0000old"
+        bench.write_bench(old, str(tmp_path / "BENCH_old.json"))
+        rows = bench.trajectory(str(tmp_path))
+        by_rev = {r["revision"]: r for r in rows}
+        assert by_rev[doc["revision"]]["scenario_het_ratio"] > 0
+        assert by_rev["0000old"]["scenario_het_ratio"] is None
+        table = bench.trajectory_markdown(rows)
+        assert "het/homog" in table
+        # The pre-scenario row renders a dash, not a crash.
+        assert "—" in table
+
+
 class TestBenchTrajectoryFlag:
     def test_empty_results_dir_degrades_gracefully(self, tmp_path, capsys):
         rc = main(["bench", "--trajectory",
